@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints
+it next to the paper's reference values.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Accuracy benchmarks (Figs. 3, 4, 12) train models; by default they use
+a fast budget (a few minutes total).  Set ``REPRO_FULL=1`` for the full
+budget used in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.accuracy import FAST_BUDGET, AccuracyBudget
+
+
+def full_run() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def accuracy_budget() -> AccuracyBudget:
+    return AccuracyBudget() if full_run() else FAST_BUDGET
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,27 @@
+"""Ablation (beyond the paper): contribution of each reuse mechanism."""
+
+from repro.core.opcount import dcnn_layer_ops, mlcnn_layer_ops
+from repro.experiments import ablation_reuse
+from repro.models import specs
+
+
+def test_ablation_reuse(benchmark):
+    report = benchmark.pedantic(ablation_reuse, rounds=1, iterations=1)
+    report.show()
+
+    for model in ("lenet5", "vgg16", "googlenet", "densenet"):
+        fused = specs.fusable_layers(specs.get_specs(model))
+
+        def adds(lar, gar):
+            return sum(
+                (lambda o: o.additions + o.preprocessing_additions)(
+                    mlcnn_layer_ops(s, use_lar=lar, use_gar=gar)
+                )
+                for s in fused
+            )
+
+        # monotone: each mechanism only ever removes additions
+        assert adds(True, True) <= adds(True, False) <= adds(False, False)
+        assert adds(True, True) <= adds(False, True) <= adds(False, False)
+        # and never exceeds the dense baseline
+        assert adds(False, False) <= sum(dcnn_layer_ops(s).additions for s in fused)

@@ -1,0 +1,15 @@
+"""Eqs. 4-7: asymptotic limits (25% LAR, 63.6% GAR, 75% LAR+GAR, RME)."""
+
+import pytest
+
+from repro.core import opcount as oc
+from repro.experiments import equation_limits
+
+
+def test_equation_limits(benchmark):
+    report = benchmark(equation_limits)
+    report.show()
+    assert oc.lar_reduction_rate(10_000) == pytest.approx(0.25, abs=1e-4)
+    assert oc.combined_reduction_rate(10_000) == pytest.approx(0.75, abs=1e-4)
+    assert oc.rme_multiplication_reduction(2) == 0.75
+    assert oc.rme_multiplication_reduction(8) > 0.98

@@ -1,0 +1,14 @@
+"""Extension: MLCNN on ResNet-18 (the paper's conclusion claim)."""
+
+from repro.experiments import extension_resnet18
+
+
+def test_extension_resnet18(benchmark):
+    report = benchmark.pedantic(extension_resnet18, rounds=1, iterations=1)
+    report.show()
+    rows = {r[0]: r for r in report.rows}
+    # the pooled stem fuses and speeds up ~4x at FP32
+    assert rows["stem"][1] == "yes"
+    assert float(rows["stem"][2].rstrip("x")) > 2.5
+    # the residual stages are untouched at FP32
+    assert float(rows["L4.2b"][2].rstrip("x")) == 1.0

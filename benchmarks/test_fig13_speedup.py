@@ -1,0 +1,55 @@
+"""Fig. 13: per-optimized-layer speedup of MLCNN vs DCNN.
+
+Paper headlines: FP32 ~3.2x, FP16 ~6.2x, INT8 ~12.8x average over the
+optimized layers; GoogLeNet's 8x8-pooled stage (C9) peaks near 9.6x at
+FP32.  Our model reproduces the ordering and the ~1:2:4 precision
+scaling; absolute averages land within ~40%.
+"""
+
+import numpy as np
+
+from repro.accel import compare_networks, get_config
+from repro.experiments import fig13_speedup
+from repro.experiments.accelerator import EVALUATED_MODELS, _fused_layer_metrics
+from repro.models import specs
+
+
+def test_fig13_speedup(benchmark):
+    report = benchmark.pedantic(fig13_speedup, rounds=1, iterations=1)
+    report.show()
+
+    averages = {}
+    for cand in ("mlcnn-fp32", "mlcnn-fp16", "mlcnn-int8"):
+        vals = []
+        for model in EVALUATED_MODELS:
+            vals += [m[0] for m in _fused_layer_metrics(model, cand).values()]
+        averages[cand] = np.mean(vals)
+
+    # who wins and by roughly what factor
+    assert 2.5 <= averages["mlcnn-fp32"] <= 6.0      # paper: 3.2x
+    assert 5.0 <= averages["mlcnn-fp16"] <= 12.0     # paper: 6.2x
+    assert 10.0 <= averages["mlcnn-int8"] <= 24.0    # paper: 12.8x
+    # precision scaling ~1:2:4
+    assert 1.7 <= averages["mlcnn-fp16"] / averages["mlcnn-fp32"] <= 2.3
+    assert 3.4 <= averages["mlcnn-int8"] / averages["mlcnn-fp32"] <= 4.6
+
+
+def test_fig13_googlenet_c9_peak(benchmark):
+    """The best layer is in GoogLeNet's 8x8-pooled stage 5b (paper: C9,
+    9.63x at FP32)."""
+
+    def run():
+        cmp = compare_networks(
+            specs.get_specs("googlenet"), get_config("dcnn-fp32"), get_config("mlcnn-fp32")
+        )
+        ls = cmp.layer_speedups()
+        return {s.name: ls[s.name] for s in specs.get_specs("googlenet") if s.is_fusable}
+
+    fused = benchmark.pedantic(run, rounds=1, iterations=1)
+    best = max(fused, key=fused.get)
+    assert best.startswith("5b")
+    assert fused[best] > 5.0
+    # the 2x2-pooled stages sit near the 4x RME bound
+    for name, s in fused.items():
+        if name.startswith(("3b", "4e")):
+            assert 2.0 <= s <= 4.5, (name, s)

@@ -1,0 +1,57 @@
+"""Fig. 14: percentage of FLOPs reduced by MLCNN per optimized layer.
+
+Paper shapes asserted: 75% multiplication reduction for all 2x2-pooled
+layers, ~98% for GoogLeNet's 8x8-pooled stage; LeNet-5 (5x5 kernels)
+has the highest addition reduction among the models; DenseNet's 1x1
+transitions gain nothing from LAR/GAR.
+"""
+
+import numpy as np
+
+from repro.analysis.flops import layer_table
+from repro.core.opcount import mlcnn_layer_ops
+from repro.experiments import fig14_flops_reduction
+from repro.models import specs
+
+
+def _reductions(model):
+    rows = [r for r in layer_table(specs.get_specs(model)) if r["fusable"]]
+    return rows
+
+
+def test_fig14_flops_reduction(benchmark):
+    report = benchmark.pedantic(fig14_flops_reduction, rounds=1, iterations=1)
+    report.show()
+
+    # RME: 75% for 2x2 pools, ~98% for the 8x8 stage
+    for model in ("lenet5", "vgg16", "densenet"):
+        for row in _reductions(model):
+            assert abs(row["mult_reduction"] - 0.75) < 0.02, (model, row["layer"])
+    goog = {r["layer"]: r for r in _reductions("googlenet")}
+    for name, row in goog.items():
+        if name.startswith("5b"):
+            assert row["mult_reduction"] > 0.97, name
+        else:
+            assert abs(row["mult_reduction"] - 0.75) < 0.02, name
+
+
+def test_fig14_addition_reduction_ordering(benchmark):
+    """LeNet-5's 5x5 layers reuse the most additions; DenseNet's 1x1
+    transitions get no LAR/GAR benefit at all."""
+
+    def run():
+        out = {}
+        for model in ("lenet5", "vgg16", "densenet"):
+            out[model] = {r["layer"]: r["add_reduction"] for r in _reductions(model)}
+        return out
+
+    red = benchmark.pedantic(run, rounds=1, iterations=1)
+    lenet_avg = np.mean(list(red["lenet5"].values()))
+    vgg_avg = np.mean(list(red["vgg16"].values()))
+    assert lenet_avg >= vgg_avg - 0.02
+
+    # DenseNet: no incremental benefit from the reuse mechanisms
+    for spec in specs.fusable_layers(specs.get_specs("densenet")):
+        with_reuse = mlcnn_layer_ops(spec, use_lar=True, use_gar=True)
+        without = mlcnn_layer_ops(spec, use_lar=False, use_gar=False)
+        assert with_reuse.preprocessing_additions == without.preprocessing_additions

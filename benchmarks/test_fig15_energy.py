@@ -1,0 +1,52 @@
+"""Fig. 15: energy breakdown (DRAM / Buffer / MAC / static).
+
+Paper headlines: 2.9x (FP32), 5.9x (FP16), 11.3x (INT8) energy
+efficiency over the optimized layers, with every component shrinking
+and GoogLeNet's C9 best (>9x).  We assert the ordering and the
+precision scaling; absolute ratios land within ~35%.
+"""
+
+import numpy as np
+
+from repro.accel import get_config, simulate_network
+from repro.experiments import fig15_energy
+from repro.experiments.accelerator import EVALUATED_MODELS, _fused_layer_metrics
+from repro.models import specs
+
+
+def test_fig15_energy(benchmark):
+    report = benchmark.pedantic(fig15_energy, rounds=1, iterations=1)
+    report.show()
+
+    averages = {}
+    for cand in ("mlcnn-fp32", "mlcnn-fp16", "mlcnn-int8"):
+        vals = []
+        for model in EVALUATED_MODELS:
+            vals += [m[1] for m in _fused_layer_metrics(model, cand).values()]
+        averages[cand] = np.mean(vals)
+
+    assert 2.0 <= averages["mlcnn-fp32"] <= 5.0    # paper: 2.9x
+    assert 4.0 <= averages["mlcnn-fp16"] <= 10.0   # paper: 5.9x
+    assert 8.0 <= averages["mlcnn-int8"] <= 20.0   # paper: 11.3x
+    assert averages["mlcnn-int8"] > averages["mlcnn-fp16"] > averages["mlcnn-fp32"]
+
+
+def test_fig15_components_all_shrink(benchmark):
+    """Every component (DRAM, buffer, MAC, static) shrinks on MLCNN, as
+    the paper observes."""
+
+    def run():
+        out = {}
+        for model in EVALUATED_MODELS:
+            sp = specs.get_specs(model)
+            base = simulate_network(sp, get_config("dcnn-fp32")).energy
+            fused = simulate_network(sp, get_config("mlcnn-fp32")).energy
+            out[model] = (base, fused)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for model, (base, fused) in results.items():
+        assert fused.dram_j <= base.dram_j, model
+        assert fused.buffer_j < base.buffer_j, model
+        assert fused.mac_j < base.mac_j, model
+        assert fused.static_j < base.static_j, model

@@ -1,0 +1,32 @@
+"""Fig. 3: accuracy of original vs reordered vs All-Conv networks.
+
+Trains the same width-reduced architecture three ways on the synthetic
+CIFAR stand-ins (10 and 100 classes).  Paper shape: reordering is
+accuracy-neutral; All-Conv trails, especially with 100 classes.
+Set REPRO_FULL=1 for the larger budget recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments import fig3_reordering_accuracy
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_fig3_reorder_accuracy(once, accuracy_budget):
+    report = once(
+        fig3_reordering_accuracy,
+        models=("lenet5", "vgg16"),
+        class_counts=(10,),
+        budget=accuracy_budget,
+    )
+    report.show()
+    for row in report.rows:
+        original, reordered = _pct(row[2]), _pct(row[3])
+        # both clearly above the 10% chance level
+        assert original > 20 and reordered > 20, row
+        # reordering is accuracy-neutral within the (wide) noise band of
+        # the fast budget; the full budget (REPRO_FULL=1) tightens this —
+        # and when the variants do differ, the reordered net tends to be
+        # the better one, as the paper reports for its larger models
+        assert reordered - original > -25, row

@@ -1,0 +1,27 @@
+"""Fig. 4: average vs max pooling accuracy.
+
+Paper shape: average pooling matches or beats max pooling on most
+models (it preserves more information from the feature maps), which is
+why MLCNN standardizes on average pooling.
+"""
+
+from repro.experiments import fig4_pooling_accuracy
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_fig4_pooling_accuracy(once, accuracy_budget):
+    report = once(
+        fig4_pooling_accuracy,
+        models=("lenet5",),
+        class_counts=(10,),
+        budget=accuracy_budget,
+    )
+    report.show()
+    for row in report.rows:
+        avg, mx = _pct(row[2]), _pct(row[3])
+        assert avg > 20  # clearly above the 10% chance level
+        # avg-pool is competitive with max-pool (within noise or better)
+        assert avg >= mx - 20, row

@@ -1,0 +1,49 @@
+"""INT8 fixed-point datapath numerics (supports the Fig. 12 claim).
+
+Not a paper figure per se: quantifies how far the integer fused kernel
+(the arithmetic the INT8 accelerator performs) drifts from the FP32
+fused kernel on realistic layer shapes — the numerical basis for the
+paper's "quantized MLCNN is accuracy-equivalent" result.
+"""
+
+import numpy as np
+
+from repro.analysis.report import ExperimentReport
+from repro.core.fixedpoint import fused_conv_pool_int, int_path_error_bound, quantize_tensor
+from repro.core.fusion import fused_conv_pool
+from repro.nn.tensor import Tensor, no_grad
+
+
+def run_numerics():
+    rng = np.random.default_rng(0)
+    rep = ExperimentReport(
+        "INT8 numerics",
+        "integer fused kernel vs FP32 fused kernel",
+        headers=["shape", "bits", "max |err|", "a-priori bound", "rel err"],
+    )
+    results = []
+    for (c, h, k, m) in [(3, 16, 3, 8), (16, 16, 3, 16), (8, 28, 5, 8)]:
+        x = rng.normal(size=(c, h, h))
+        w = rng.normal(size=(m, c, k, k)) * 0.3
+        with no_grad():
+            ref = fused_conv_pool(Tensor(x[None]), Tensor(w), None, pool=2).data[0]
+        for bits in (8, 16):
+            qx, qw = quantize_tensor(x, bits), quantize_tensor(w, bits)
+            got = fused_conv_pool_int(qx, qw, None)
+            err = float(np.abs(got - ref).max())
+            bound = int_path_error_bound(qx, qw)
+            rel = err / (np.abs(ref).max() + 1e-12)
+            rep.add_row(f"{c}x{h}x{h} K{k} M{m}", bits, f"{err:.2e}", f"{bound:.2e}", f"{rel:.2e}")
+            results.append((bits, err, bound, rel))
+    return rep, results
+
+
+def test_int8_numerics(benchmark):
+    rep, results = benchmark.pedantic(run_numerics, rounds=1, iterations=1)
+    rep.show()
+    for bits, err, bound, rel in results:
+        assert err <= bound
+        if bits == 8:
+            assert rel < 0.05  # within a few percent of FP32 outputs
+        else:
+            assert rel < 1e-3

@@ -1,0 +1,55 @@
+"""Wall-clock microbenchmarks of the vectorized kernels.
+
+Not a paper figure: measures that the *software* fused kernel is itself
+faster than unfused Conv -> AvgPool -> ReLU on this machine (it does a
+quarter of the GEMM work), and benchmarks the RTL micro-simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import fused_conv_pool
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(8, 32, 32, 32)))
+    w = Tensor(rng.normal(size=(64, 32, 3, 3)))
+    b = Tensor(rng.normal(size=64))
+    return x, w, b
+
+
+def test_bench_unfused_conv_pool(benchmark, workload):
+    x, w, b = workload
+
+    def run():
+        with no_grad():
+            return F.relu(F.avg_pool2d(F.conv2d(x, w, b, padding=1), 2)).data
+
+    benchmark(run)
+
+
+def test_bench_fused_conv_pool(benchmark, workload):
+    x, w, b = workload
+
+    def run():
+        with no_grad():
+            return fused_conv_pool(x, w, b, pool=2, padding=1).data
+
+    out = benchmark(run)
+    with no_grad():
+        ref = F.relu(F.avg_pool2d(F.conv2d(x, w, b, padding=1), 2)).data
+    np.testing.assert_allclose(out, ref, atol=1e-9)
+
+
+def test_bench_rtl_microsim(benchmark):
+    from repro.accel.rtl import RTLFusedConvPool
+
+    rng = np.random.default_rng(1)
+    img = rng.normal(size=(32, 32))
+    w = rng.normal(size=(3, 3))
+    report = benchmark(RTLFusedConvPool(w).run, img)
+    assert report.outputs.shape == (15, 15)

@@ -1,0 +1,62 @@
+"""Operating-point ablations: where MLCNN's advantage lives.
+
+Not paper figures: sweeps DRAM bandwidth and inference batch to locate
+the crossover between memory-bound (arithmetic elimination hidden) and
+compute-bound (RME's 4x visible) operation — the modelling context for
+Fig. 13's absolute numbers.
+"""
+
+import numpy as np
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.sweep import speedup_vs_bandwidth, speedup_vs_batch, speedup_vs_pool_size
+
+
+def test_bandwidth_crossover(benchmark):
+    def run():
+        return speedup_vs_bandwidth((0.5, 1, 2, 4, 8, 16, 32, 64))
+
+    bws, sp = benchmark.pedantic(run, rounds=1, iterations=1)
+    rep = ExperimentReport(
+        "Ablation", "whole-network VGG-16 MLCNN speedup vs DRAM bandwidth",
+        headers=["bytes/cycle", "speedup"],
+    )
+    for b, s in zip(bws, sp):
+        rep.add_row(b, f"{s:.2f}x")
+    rep.show()
+    assert (np.diff(sp) >= -1e-9).all()  # monotone: bandwidth unlocks RME
+    assert sp[-1] / sp[0] > 1.3
+
+
+def test_batch_amortization(benchmark):
+    def run():
+        return speedup_vs_batch((1, 2, 4, 8, 16))
+
+    bs, sp = benchmark.pedantic(run, rounds=1, iterations=1)
+    rep = ExperimentReport(
+        "Ablation", "whole-network VGG-16 MLCNN speedup vs batch size",
+        headers=["batch", "speedup"],
+    )
+    for b, s in zip(bs, sp):
+        rep.add_row(b, f"{s:.2f}x")
+    rep.show()
+    assert (np.diff(sp) >= -1e-9).all()
+
+
+def test_pool_size_scaling(benchmark):
+    def run():
+        return speedup_vs_pool_size((2, 3, 4, 6, 8))
+
+    ps, sp = benchmark.pedantic(run, rounds=1, iterations=1)
+    rep = ExperimentReport(
+        "Ablation", "fused-layer speedup vs pooling window (isolated RME effect)",
+        headers=["pool", "speedup", "RME bound (p^2)"],
+    )
+    for p, s in zip(ps, sp):
+        rep.add_row(p, f"{s:.2f}x", int(p) ** 2)
+    rep.show()
+    assert (np.diff(sp) > 0).all()
+    # speedup tracks the arithmetic bound p^2 (slightly above is
+    # possible: the DCNN also pays pooling additions and scaling mults)
+    for p, s in zip(ps, sp):
+        assert s <= p * p * 1.05

@@ -1,0 +1,36 @@
+"""Related-work comparison (Sec. VIII) and the pruning orthogonality
+extension — MLCNN vs data-movement-only fusion, and MLCNN + sparsity."""
+
+import numpy as np
+
+from repro.experiments import extension_pruning, related_fused_layer
+
+
+def test_related_fused_layer(benchmark):
+    report = benchmark.pedantic(related_fused_layer, rounds=1, iterations=1)
+    report.show()
+    for row in report.rows:
+        fused_layer = float(row[1].rstrip("x"))
+        mlcnn_whole = float(row[3].rstrip("x"))
+        mlcnn_opt = float(row[4].rstrip("x"))
+        # arithmetic elimination beats data-movement-only fusion
+        assert mlcnn_whole >= fused_layer
+        assert mlcnn_opt > 2.0
+        # fused-layer execution is never a slowdown
+        assert fused_layer >= 1.0
+
+
+def test_extension_pruning(benchmark):
+    report = benchmark.pedantic(extension_pruning, rounds=1, iterations=1)
+    report.show()
+
+    def pct(cell):
+        return float(cell.rstrip("%"))
+
+    for row in report.rows:
+        mlcnn_only, combined = pct(row[2]), pct(row[4])
+        sparsity = pct(row[1])
+        # composition is multiplicative: combined = 1 - (1-s)(1-mlcnn)
+        expected = 100 * (1 - (1 - sparsity / 100) * (1 - mlcnn_only / 100))
+        assert abs(combined - expected) < 0.5
+        assert combined >= mlcnn_only

@@ -1,0 +1,16 @@
+"""Table I: conv-layer and parameter counts of the studied CNNs."""
+
+from repro.experiments import table1_models
+
+
+def test_table1_models(benchmark):
+    report = benchmark.pedantic(table1_models, rounds=1, iterations=1)
+    report.show()
+    rows = {r[0]: r for r in report.rows}
+    # LeNet-5 parameter count matches the paper's 62K
+    assert abs(rows["lenet5"][2] - 62_000) < 1_500
+    # conv-layer counts match Table I
+    assert rows["lenet5"][1] == 3
+    assert rows["vgg16"][1] == 13
+    assert rows["vgg19"][1] == 16
+    assert rows["googlenet"][1] == 57

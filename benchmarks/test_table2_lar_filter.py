@@ -1,0 +1,14 @@
+"""Table II: LAR addition reduction vs filter size — exact reproduction."""
+
+from repro.core import opcount as oc
+from repro.experiments import table2_lar_filter
+from repro.experiments.analytic import TABLE2_PAPER
+
+
+def test_table2_lar_filter(benchmark):
+    report = benchmark(table2_lar_filter)
+    report.show()
+    for k, (wo, w, rate) in TABLE2_PAPER.items():
+        assert oc.lar_additions_without(k) == wo
+        assert oc.lar_additions_with(k) == w
+        assert round(100 * oc.lar_reduction_rate(k), 1) == rate

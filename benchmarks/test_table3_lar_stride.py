@@ -1,0 +1,14 @@
+"""Table III: LAR addition reduction vs step size — exact reproduction."""
+
+from repro.core import opcount as oc
+from repro.experiments import table3_lar_stride
+from repro.experiments.analytic import TABLE3_PAPER
+
+
+def test_table3_lar_stride(benchmark):
+    report = benchmark(table3_lar_stride)
+    report.show()
+    for s, expected in TABLE3_PAPER.items():
+        assert oc.lar_additions_with(11, s) == expected
+    # reduction decreases linearly in S and vanishes at S = K
+    assert oc.lar_reduction_rate(11, 11) == 0.0

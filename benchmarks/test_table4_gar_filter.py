@@ -1,0 +1,38 @@
+"""Table IV: GAR addition reduction vs filter size — exact, plus a
+measured cross-check from the instrumented fused kernel."""
+
+import numpy as np
+
+from repro.core import opcount as oc
+from repro.core.fusion import fused_conv_pool_counted
+from repro.experiments import table4_gar_filter
+from repro.experiments.analytic import TABLE4_PAPER
+
+
+def test_table4_gar_filter(benchmark):
+    report = benchmark.pedantic(table4_gar_filter, rounds=1, iterations=1)
+    report.show()
+    for k, (wo, w, _rate) in TABLE4_PAPER.items():
+        assert oc.gar_additions_without(28, k) == wo
+        assert oc.gar_additions_with(28, k) == w
+
+
+def test_table4_measured_from_kernel(benchmark):
+    """Execute the fused kernel with row-GAR and count real additions."""
+
+    def measure():
+        rng = np.random.default_rng(0)
+        out = {}
+        for k in (3, 5, 13):
+            x = rng.normal(size=(1, 28, 28))
+            w = rng.normal(size=(1, 1, k, k))
+            _, c = fused_conv_pool_counted(
+                x, w, None, use_lar=False, use_gar_row=True, use_gar_col=False
+            )
+            rows = ((28 - k + 1) - 2) // 2 + 1
+            out[k] = c.additions / rows
+        return out
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for k, per_row in measured.items():
+        assert per_row == oc.gar_additions_with(28, k), k

@@ -1,0 +1,15 @@
+"""Table V: GAR addition reduction vs step size — exact reproduction."""
+
+from repro.core import opcount as oc
+from repro.experiments import table5_gar_stride
+from repro.experiments.analytic import TABLE5_PAPER
+
+
+def test_table5_gar_stride(benchmark):
+    report = benchmark(table5_gar_stride)
+    report.show()
+    for s, (wo, w, _rate) in TABLE5_PAPER.items():
+        assert oc.gar_additions_without(28, 13, s) == wo
+        assert oc.gar_additions_with(28, 13, s) == w
+    # paper: effectiveness "drops dramatically" with stride
+    assert oc.gar_reduction_rate(28, 13, 1) > 3 * oc.gar_reduction_rate(28, 13, 5)

@@ -1,0 +1,33 @@
+"""Table VI + Eqs. 5-6: GAR vs input dimension — exact reproduction."""
+
+import pytest
+
+from repro.core import opcount as oc
+from repro.experiments import table6_gar_inputdim
+from repro.experiments.analytic import TABLE6_PAPER
+
+
+def test_table6_gar_inputdim(benchmark):
+    report = benchmark(table6_gar_inputdim)
+    report.show()
+    for d, (wo, w, _rate) in TABLE6_PAPER.items():
+        assert oc.gar_additions_without(d, 13) == wo
+        assert oc.gar_additions_with(d, 13) == w
+
+
+def test_equation5_closed_form(benchmark):
+    """Eq. 5: at K=13, adds are 337.5D - 4050 without and 123D - 1047
+    with GAR (for even D-K+1)."""
+
+    def check():
+        for d in (28, 32, 64, 128, 224):
+            assert oc.gar_additions_without(d, 13) == 337.5 * d - 4050
+            assert oc.gar_additions_with(d, 13) == 123 * d - 1047
+        return True
+
+    assert benchmark(check)
+
+
+def test_equation6_limit(benchmark):
+    limit = benchmark(oc.gar_limit_large_input, 13)
+    assert round(100 * limit, 1) == 63.6

@@ -1,0 +1,17 @@
+"""Table VII: accelerator configurations under one silicon budget."""
+
+from repro.accel.area import config_area_mm2, slices_for_budget
+from repro.accel.config import TABLE7_CONFIGS
+from repro.experiments import table7_configs
+
+
+def test_table7_configs(benchmark):
+    report = benchmark(table7_configs)
+    report.show()
+    # the paper's slice counts fit the 1.52 mm^2 budget at 45 nm
+    assert slices_for_budget(32) >= 32
+    assert slices_for_budget(16) >= 64
+    assert slices_for_budget(8) >= 128
+    for cfg in TABLE7_CONFIGS.values():
+        assert config_area_mm2(cfg.mac_slices, cfg.bitwidth) <= cfg.area_mm2 + 1e-9
+        assert cfg.onchip_memory_kb == 134

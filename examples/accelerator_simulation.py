@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Accelerator walkthrough: per-layer cycles, speedup, energy breakdown.
+
+Simulates a full-size network on the four Table VII accelerator
+configurations and prints Fig. 13/15-style per-layer results: which
+layers fuse, where the speedup comes from (compute vs memory bound),
+and how the DRAM/Buffer/MAC/static energy shares move.
+
+Run:  python examples/accelerator_simulation.py [--model googlenet]
+"""
+
+import argparse
+
+from repro.accel import compare_networks, get_config, simulate_network
+from repro.analysis.report import format_table
+from repro.models import specs
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="googlenet", choices=sorted(specs.MODEL_SPECS))
+    args = parser.parse_args()
+
+    layer_specs = specs.get_specs(args.model)
+    base_cfg = get_config("dcnn-fp32")
+    cand_cfg = get_config("mlcnn-fp32")
+    cmp = compare_networks(layer_specs, base_cfg, cand_cfg)
+    speed = cmp.layer_speedups()
+
+    rows = []
+    for spec, base, fused in zip(layer_specs, cmp.baseline.layers, cmp.candidate.layers):
+        bound = "compute" if fused.compute_cycles >= fused.memory_cycles else "memory"
+        rows.append([
+            spec.name,
+            f"{spec.kernel}x{spec.kernel}",
+            f"{spec.pool}x{spec.pool}" if spec.pool else "-",
+            "yes" if fused.fused else "no",
+            f"{base.cycles:,.0f}",
+            f"{fused.cycles:,.0f}",
+            f"{speed[spec.name]:.2f}x",
+            bound,
+        ])
+    print(f"== {args.model}: DCNN FP32 vs MLCNN FP32, per layer ==")
+    print(format_table(
+        ["layer", "K", "pool", "fused", "DCNN cycles", "MLCNN cycles", "speedup", "MLCNN bound"],
+        rows,
+    ))
+    print(f"\nwhole-network speedup: {cmp.speedup:.2f}x; "
+          f"energy efficiency: {cmp.energy_efficiency:.2f}x")
+
+    print("\n== energy breakdown (Fig. 15 style) ==")
+    rows = []
+    for cfg_name in ("dcnn-fp32", "mlcnn-fp32", "mlcnn-fp16", "mlcnn-int8"):
+        res = simulate_network(layer_specs, get_config(cfg_name))
+        e = res.energy
+        rows.append([
+            cfg_name,
+            f"{res.cycles:,.0f}",
+            f"{e.dram_j * 1e6:.1f}",
+            f"{e.buffer_j * 1e6:.1f}",
+            f"{e.mac_j * 1e6:.1f}",
+            f"{e.static_j * 1e6:.1f}",
+            f"{e.total_j * 1e6:.1f}",
+        ])
+    print(format_table(
+        ["config", "cycles", "DRAM uJ", "Buffer uJ", "MAC uJ", "static uJ", "total uJ"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fig. 3-style study: does reordering ReLU and average pooling hurt?
+
+Trains the same architecture three ways on a synthetic CIFAR-like task
+(see DESIGN.md for the substitution) and prints top-1/top-5 accuracy:
+
+* ``ReLU+AP``  — the original Conv -> ReLU -> AvgPool network,
+* ``AP+ReLU``  — the MLCNN-reordered network,
+* ``All-Conv`` — pooling folded into convolution strides [7].
+
+The paper's claim to observe: the reordered network matches the
+original, while All-Conv trails (it loses pooling's shift tolerance —
+the synthetic data applies random shifts exactly to exercise that).
+
+Run:  python examples/accuracy_reordering.py [--model lenet5] [--epochs 10]
+"""
+
+import argparse
+
+from repro.analysis.report import format_table
+from repro.data import SyntheticImageConfig, make_synth_cifar, train_val_split
+from repro.models import build_model, reorder_activation_pooling, to_allconv
+from repro.train import TrainConfig, Trainer, evaluate
+
+
+def train_variant(name: str, variant: str, train_set, val_set, args):
+    model = build_model(
+        name,
+        num_classes=args.classes,
+        image_size=args.image_size,
+        width_mult=args.width,
+        pooling="avg",
+        seed=args.seed,
+    )
+    if variant == "AP+ReLU":
+        reorder_activation_pooling(model)
+    elif variant == "All-Conv":
+        to_allconv(model)
+    trainer = Trainer(
+        model,
+        train_set,
+        val_set,
+        TrainConfig(epochs=args.epochs, batch_size=32, lr=args.lr, seed=args.seed),
+    )
+    trainer.fit()
+    _, top1, top5 = evaluate(model, val_set)
+    return top1, top5
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="lenet5", help="model name (see repro.models)")
+    parser.add_argument("--classes", type=int, default=10)
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--width", type=float, default=1.0)
+    parser.add_argument("--image-size", type=int, default=32)
+    parser.add_argument("--samples", type=int, default=40, help="samples per class")
+    parser.add_argument("--lr", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    cfg = SyntheticImageConfig(
+        num_classes=args.classes,
+        samples_per_class=args.samples,
+        image_size=args.image_size,
+        seed=args.seed,
+    )
+    train_set, val_set = train_val_split(make_synth_cifar(cfg), 0.25, seed=args.seed)
+    print(f"dataset: {args.classes} classes x {args.samples} samples, "
+          f"{args.image_size}x{args.image_size}; model: {args.model} (width {args.width})\n")
+
+    rows = []
+    for variant in ("ReLU+AP", "AP+ReLU", "All-Conv"):
+        top1, top5 = train_variant(args.model, variant, train_set, val_set, args)
+        rows.append([variant, f"{top1:.1%}", f"{top5:.1%}"])
+        print(f"  trained {variant}: top-1 {top1:.1%}")
+
+    print("\n" + format_table(["variant", "top-1", "top-5"], rows))
+    print("\npaper shape: AP+ReLU ~= ReLU+AP; All-Conv trails on hard tasks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""MLCNN reproduction: cross-layer cooperative CNN optimization.
+
+Reproduces Jiang et al., *MLCNN: Cross-Layer Cooperative Optimization
+and Accelerator Architecture for Speeding Up Deep Learning
+Applications* (IPDPS 2022):
+
+* :mod:`repro.nn` — NumPy deep-learning substrate (autograd, layers,
+  optimizers) standing in for PyTorch.
+* :mod:`repro.data` — synthetic CIFAR-like datasets.
+* :mod:`repro.train` — training/evaluation harness.
+* :mod:`repro.models` — LeNet-5 / VGG / GoogLeNet / DenseNet /
+  ResNet-18 zoo, layer reordering and all-conv transforms.
+* :mod:`repro.core` — the paper's contribution: RME/LAR/GAR op-count
+  models, the fused conv-pool kernel, network fusion, DoReFa
+  quantization.
+* :mod:`repro.accel` — accelerator cycle/energy/area model and the
+  RTL-level AR-unit/MAC-slice micro-simulator.
+* :mod:`repro.analysis` — FLOP audits and report formatting.
+
+Quickstart::
+
+    from repro import build_model, reorder_activation_pooling, fuse_network
+    model = build_model("lenet5")
+    reorder_activation_pooling(model)   # Conv -> AvgPool -> ReLU
+    fuse_network(model)                 # RME + LAR + GAR fused kernel
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    fuse_network,
+    prepare_mlcnn,
+    fused_conv_pool,
+    quantize_model,
+    QuantConfig,
+    rme_multiplication_reduction,
+)
+from repro.models import (
+    build_model,
+    reorder_activation_pooling,
+    to_allconv,
+    set_pooling,
+)
+from repro.accel import (
+    get_config,
+    simulate_network,
+    compare_networks,
+)
+
+__all__ = [
+    "__version__",
+    "build_model",
+    "reorder_activation_pooling",
+    "to_allconv",
+    "set_pooling",
+    "fuse_network",
+    "prepare_mlcnn",
+    "fused_conv_pool",
+    "quantize_model",
+    "QuantConfig",
+    "rme_multiplication_reduction",
+    "get_config",
+    "simulate_network",
+    "compare_networks",
+]

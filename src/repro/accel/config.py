@@ -1,0 +1,74 @@
+"""Accelerator configurations (Table VII of the paper).
+
+All four configurations share the same silicon budget (1.52 mm^2 of
+MAC-slice area at 45 nm) and the same 134 kB of on-chip memory; lower
+precision packs more MAC slices into the budget:
+
+============  =======  ========  ==========
+config        #slices  bitwidth  datapath
+============  =======  ========  ==========
+DCNN  FP32       32      32      dense conv
+MLCNN FP32       32      32      fused
+MLCNN FP16       64      16      fused
+MLCNN INT8      128       8      fused
+============  =======  ========  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Static parameters of one accelerator instance."""
+
+    name: str
+    mac_slices: int
+    bitwidth: int  # operand width in bits (32/16/8)
+    fused: bool  # True: MLCNN datapath (AR units + fused kernel)
+    frequency_hz: float = 1.0e9
+    area_mm2: float = 1.52
+    onchip_memory_kb: int = 134
+    #: peak DRAM bandwidth in bytes per cycle (e.g. 16 B/cy @ 1 GHz = 16 GB/s)
+    dram_bytes_per_cycle: float = 16.0
+    #: average DRAM access latency in cycles (hidden by the multi-bank
+    #: input-weight buffer when traffic is streamed; charged on the
+    #: first tile of each layer)
+    dram_latency_cycles: int = 100
+    #: addition-reuse units; each retires one small-accumulation
+    #: addition per cycle alongside the MAC slices
+    ar_units: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mac_slices < 1:
+            raise ValueError("need at least one MAC slice")
+        if self.bitwidth not in (8, 16, 32):
+            raise ValueError(f"unsupported bitwidth {self.bitwidth}")
+        if self.fused and self.ar_units == 0:
+            # One AR unit feeds two MAC slices (Fig. 7(b)).
+            object.__setattr__(self, "ar_units", max(1, self.mac_slices // 2))
+
+    @property
+    def bytes_per_element(self) -> float:
+        return self.bitwidth / 8.0
+
+    @property
+    def precision_label(self) -> str:
+        return {32: "FP32", 16: "FP16", 8: "INT8"}[self.bitwidth]
+
+
+TABLE7_CONFIGS: Dict[str, AcceleratorConfig] = {
+    "dcnn-fp32": AcceleratorConfig("dcnn-fp32", mac_slices=32, bitwidth=32, fused=False),
+    "mlcnn-fp32": AcceleratorConfig("mlcnn-fp32", mac_slices=32, bitwidth=32, fused=True),
+    "mlcnn-fp16": AcceleratorConfig("mlcnn-fp16", mac_slices=64, bitwidth=16, fused=True),
+    "mlcnn-int8": AcceleratorConfig("mlcnn-int8", mac_slices=128, bitwidth=8, fused=True),
+}
+
+
+def get_config(name: str) -> AcceleratorConfig:
+    """Look up a Table VII accelerator configuration by name."""
+    if name not in TABLE7_CONFIGS:
+        raise KeyError(f"unknown config {name!r}; available: {sorted(TABLE7_CONFIGS)}")
+    return TABLE7_CONFIGS[name]

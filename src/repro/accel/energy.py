@@ -1,0 +1,95 @@
+"""Energy model (CACTI role): per-op, per-access and static energy.
+
+Dynamic energies follow published 45 nm datapoints (Horowitz, ISSCC
+2014): an FP32 multiply costs ~3.7 pJ and an FP32 add ~0.9 pJ; 8-bit
+integer ops are 10-30x cheaper; an SRAM access costs a few pJ per
+32-bit word and a DRAM access two orders of magnitude more.  Absolute
+joules are not the reproduction target — the MLCNN/DCNN *ratios* are,
+and those are driven by the operation/access counts computed elsewhere.
+
+The breakdown mirrors Fig. 15's three components: DRAM, Buffer (input/
+weight/output SRAM), and MAC (processing cores), each with a static
+(leakage x time) and a dynamic share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-event dynamic energies (pJ) and leakage (mW) at one precision."""
+
+    mult_pj: float
+    add_pj: float
+    #: SRAM buffer access per operand (pJ)
+    buffer_access_pj: float
+    #: DRAM transfer per byte (pJ/B)
+    dram_pj_per_byte: float
+    #: leakage power of the whole accelerator (mW)
+    leakage_mw: float
+
+
+#: 45 nm energy tables keyed by operand bitwidth.  ``dram_pj_per_byte``
+#: is the *burst-streamed* cost (sequential tile transfers amortize row
+#: activations); ``leakage_mw`` bundles core leakage with the DRAM
+#: background/refresh power, which is why execution time dominates the
+#: static energy, as the paper observes in Section VII.D.
+ENERGY_45NM: Dict[int, EnergyTable] = {
+    32: EnergyTable(mult_pj=3.7, add_pj=0.9, buffer_access_pj=5.0, dram_pj_per_byte=40.0, leakage_mw=300.0),
+    16: EnergyTable(mult_pj=1.1, add_pj=0.4, buffer_access_pj=2.5, dram_pj_per_byte=40.0, leakage_mw=300.0),
+    8: EnergyTable(mult_pj=0.2, add_pj=0.03, buffer_access_pj=1.25, dram_pj_per_byte=40.0, leakage_mw=300.0),
+}
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy of one execution, split as in Fig. 15 (all in joules)."""
+
+    dram_j: float = 0.0
+    buffer_j: float = 0.0
+    mac_j: float = 0.0
+    static_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return self.dram_j + self.buffer_j + self.mac_j + self.static_j
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.dram_j + other.dram_j,
+            self.buffer_j + other.buffer_j,
+            self.mac_j + other.mac_j,
+            self.static_j + other.static_j,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "dram": self.dram_j,
+            "buffer": self.buffer_j,
+            "mac": self.mac_j,
+            "static": self.static_j,
+            "total": self.total_j,
+        }
+
+
+def dynamic_energy(
+    table: EnergyTable,
+    multiplications: int,
+    additions: int,
+    buffer_accesses: int,
+    dram_bytes: float,
+) -> EnergyBreakdown:
+    """Dynamic energy of the given event counts (no static share)."""
+    return EnergyBreakdown(
+        dram_j=dram_bytes * table.dram_pj_per_byte * 1e-12,
+        buffer_j=buffer_accesses * table.buffer_access_pj * 1e-12,
+        mac_j=(multiplications * table.mult_pj + additions * table.add_pj) * 1e-12,
+    )
+
+
+def static_energy(table: EnergyTable, seconds: float) -> float:
+    """Leakage energy over an execution time (joules)."""
+    return table.leakage_mw * 1e-3 * seconds

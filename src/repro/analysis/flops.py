@@ -1,0 +1,91 @@
+"""FLOP auditing for spec lists and live models.
+
+Bridges the two model representations: the full-size
+:class:`~repro.models.specs.LayerSpec` lists used by the accelerator
+experiments and the live (possibly width-reduced) NumPy models used by
+the accuracy experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.opcount import (
+    dcnn_layer_ops,
+    layer_addition_reduction,
+    layer_multiplication_reduction,
+    mlcnn_layer_ops,
+)
+from repro.models.blocks import ConvBlock
+from repro.models.specs import LayerSpec
+from repro.nn.layers import Conv2d, Linear, Module
+
+
+def model_flops(specs: Sequence[LayerSpec], fused: bool = False) -> int:
+    """Total multiply+add count of a spec list (conv layers only)."""
+    total = 0
+    for spec in specs:
+        ops = mlcnn_layer_ops(spec) if fused else dcnn_layer_ops(spec)
+        total += ops.total
+    return total
+
+
+def count_model_macs(model: Module, input_shape: tuple) -> int:
+    """MAC count of a live model by shape propagation on a dummy input.
+
+    Runs a single forward pass while hooking every Conv2d/Linear to
+    record its output shape; useful for width-reduced training models.
+    """
+    from repro.nn.tensor import Tensor, no_grad
+
+    macs = {"total": 0}
+    original_conv = Conv2d.forward
+    original_linear = Linear.forward
+
+    def conv_fwd(self, x):
+        out = original_conv(self, x)
+        n, m, ho, wo = out.shape
+        macs["total"] += (
+            n * m * ho * wo * self.in_channels * self.kernel_size[0] * self.kernel_size[1]
+        )
+        return out
+
+    def linear_fwd(self, x):
+        out = original_linear(self, x)
+        macs["total"] += self.in_features * self.out_features * x.shape[0]
+        return out
+
+    Conv2d.forward = conv_fwd
+    Linear.forward = linear_fwd
+    try:
+        with no_grad():
+            model(Tensor(np.zeros(input_shape)))
+    finally:
+        Conv2d.forward = original_conv
+        Linear.forward = original_linear
+    return macs["total"]
+
+
+def layer_table(specs: Sequence[LayerSpec]) -> List[Dict[str, object]]:
+    """Per-layer audit rows for Fig. 14-style reporting."""
+    rows: List[Dict[str, object]] = []
+    for spec in specs:
+        base = dcnn_layer_ops(spec)
+        fused = mlcnn_layer_ops(spec)
+        rows.append(
+            {
+                "layer": spec.name,
+                "fusable": spec.is_fusable,
+                "kernel": spec.kernel,
+                "pool": spec.pool,
+                "dcnn_mults": base.multiplications,
+                "dcnn_adds": base.additions,
+                "mlcnn_mults": fused.multiplications,
+                "mlcnn_adds": fused.additions + fused.preprocessing_additions,
+                "mult_reduction": layer_multiplication_reduction(spec) if spec.is_fusable else 0.0,
+                "add_reduction": layer_addition_reduction(spec) if spec.is_fusable else 0.0,
+            }
+        )
+    return rows

@@ -1,0 +1,55 @@
+"""Plain-text table formatting for the benchmark harness.
+
+The benchmark suite prints the same rows/series the paper's tables and
+figures report; these helpers keep the output uniform and readable in
+CI logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def format_percent(x: float, digits: int = 1) -> str:
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """A titled table plus paper-reference values, printed by benches."""
+
+    experiment: str  # e.g. "Table II"
+    description: str
+    headers: List[str] = field(default_factory=list)
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        out = [f"== {self.experiment}: {self.description} =="]
+        if self.rows:
+            out.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def show(self) -> None:
+        print("\n" + self.render())

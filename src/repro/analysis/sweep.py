@@ -1,0 +1,133 @@
+"""Parameter sweeps producing the series behind the paper's analysis.
+
+Each function returns ``(xs, ys)`` arrays suitable for plotting or
+tabulation — the continuous versions of Tables II-VI and the
+speedup-vs-pool-size trend that explains Fig. 13's GoogLeNet outlier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.accel.config import get_config
+from repro.accel.simulator import simulate_layer
+from repro.core import opcount as oc
+from repro.models.specs import LayerSpec
+
+
+def lar_rate_vs_filter(k_values: Sequence[int] = range(2, 41), s: int = 1):
+    """LAR reduction rate as the filter grows (approaches 25%)."""
+    ks = np.array(list(k_values))
+    return ks, np.array([oc.lar_reduction_rate(int(k), s) for k in ks])
+
+
+def gar_rate_vs_filter(d: int = 28, k_values: Sequence[int] | None = None, s: int = 1):
+    """GAR reduction rate vs filter size at fixed input dimension."""
+    if k_values is None:
+        k_values = [k for k in range(2, d - 1) if (d - k) >= 2 * s]
+    ks = np.array(list(k_values))
+    return ks, np.array([oc.gar_reduction_rate(d, int(k), s) for k in ks])
+
+
+def gar_rate_vs_input(k: int = 13, d_values: Sequence[int] | None = None, s: int = 1):
+    """GAR reduction rate vs input dimension (approaches Eq. 6's limit)."""
+    if d_values is None:
+        d_values = list(range(k + 2 * s, 257, 4))
+    ds = np.array(list(d_values))
+    return ds, np.array([oc.gar_reduction_rate(int(d), k, s) for d in ds])
+
+
+def speedup_vs_pool_size(
+    pool_sizes: Sequence[int] = (2, 4, 8),
+    in_channels: int = 64,
+    out_channels: int = 64,
+    kernel: int = 3,
+    config: str = "mlcnn-fp32",
+):
+    """Modelled layer speedup as the pooling window grows.
+
+    The input is sized so every pool size produces the same number of
+    pooled outputs, isolating the RME effect — the driver behind
+    GoogLeNet's stage-5b peak in Fig. 13.
+    """
+    base_cfg = get_config("dcnn-fp32")
+    cand_cfg = get_config(config)
+    ps = np.array(list(pool_sizes))
+    speedups = []
+    for p in ps:
+        outputs = 4  # pooled outputs per row
+        d = int(p) * outputs + kernel - 1
+        spec = LayerSpec("sweep", in_channels, out_channels, d, kernel, pool=int(p))
+        base = simulate_layer(spec, base_cfg)
+        cand = simulate_layer(spec, cand_cfg, input_preprocessed=True)
+        speedups.append(base.cycles / cand.cycles)
+    return ps, np.array(speedups)
+
+
+def addition_reduction_vs_kernel(
+    kernels: Sequence[int] = (1, 2, 3, 5, 7),
+    input_size: int = 32,
+    channels: int = 16,
+):
+    """Layer-level addition reduction vs conv kernel (Fig. 14 trend)."""
+    ks = np.array(list(kernels))
+    out = []
+    for k in ks:
+        spec = LayerSpec("sweep", channels, channels, input_size, int(k),
+                         padding=int(k) // 2, pool=2)
+        out.append(oc.layer_addition_reduction(spec))
+    return ks, np.array(out)
+
+
+def speedup_vs_bandwidth(
+    bandwidths: Sequence[float] = (0.5, 1, 2, 4, 8, 16, 32, 64),
+    model: str = "vgg16",
+):
+    """MLCNN whole-network speedup as DRAM bandwidth varies.
+
+    Shows the operating-point crossover: at starved bandwidth both
+    configurations are memory-bound and the speedup approaches the
+    traffic ratio (~2x with preprocessing); with ample bandwidth it
+    approaches the arithmetic ratio set by RME.
+    """
+    import dataclasses
+
+    from repro.accel.simulator import simulate_network
+    from repro.models.specs import get_specs
+
+    specs = get_specs(model)
+    base_cfg = get_config("dcnn-fp32")
+    cand_cfg = get_config("mlcnn-fp32")
+    bws = np.array(list(bandwidths), dtype=float)
+    speedups = []
+    for bw in bws:
+        b = dataclasses.replace(base_cfg, dram_bytes_per_cycle=float(bw))
+        c = dataclasses.replace(cand_cfg, dram_bytes_per_cycle=float(bw))
+        speedups.append(
+            simulate_network(specs, b).cycles / simulate_network(specs, c).cycles
+        )
+    return bws, np.array(speedups)
+
+
+def speedup_vs_batch(
+    batches: Sequence[int] = (1, 2, 4, 8, 16),
+    model: str = "vgg16",
+    config: str = "mlcnn-fp32",
+):
+    """Whole-network MLCNN speedup as the inference batch grows."""
+    from repro.accel.simulator import simulate_network
+    from repro.models.specs import get_specs
+
+    specs = get_specs(model)
+    base_cfg = get_config("dcnn-fp32")
+    cand_cfg = get_config(config)
+    bs = np.array(list(batches))
+    speedups = []
+    for n in bs:
+        speedups.append(
+            simulate_network(specs, base_cfg, batch=int(n)).cycles
+            / simulate_network(specs, cand_cfg, batch=int(n)).cycles
+        )
+    return bs, np.array(speedups)

@@ -1,0 +1,180 @@
+"""Integer (fixed-point) execution of the fused kernel (Section VI).
+
+The MLCNN accelerator's INT8 configuration executes 8-bit fixed-point
+multiplications (Wallace-tree multipliers) with wide integer
+accumulation.  This module provides the *numeric* counterpart of that
+datapath: symmetric linear quantization to ``int8``/``int16`` with
+per-tensor scales, an integer fused conv-pool kernel whose arithmetic
+is exact integer math (int64 accumulators, like the hardware's wide
+accumulators), and dequantization back to floats.
+
+This differs from :mod:`repro.core.quantize` (DoReFa) on purpose:
+DoReFa is the paper's *training* scheme (Eqs. 8-9, STE); this module is
+the *inference* arithmetic the accelerator actually performs.  Tests
+verify the integer path tracks the float fused kernel within the
+quantization-error bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.fusion import box_sum
+
+#: integer accumulator dtype — the hardware's wide accumulator
+ACC_DTYPE = np.int64
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An integer tensor with its dequantization scale.
+
+    ``values`` holds integers in ``[-2^(bits-1)+1, 2^(bits-1)-1]``;
+    the represented real value is ``values * scale``.
+    """
+
+    values: np.ndarray
+    scale: float
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 2 or self.bits > 32:
+            raise ValueError(f"bits must be in [2, 32], got {self.bits}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        limit = 2 ** (self.bits - 1) - 1
+        if np.abs(self.values).max(initial=0) > limit:
+            raise ValueError(f"values exceed the {self.bits}-bit range")
+
+    def dequantize(self) -> np.ndarray:
+        return self.values.astype(np.float64) * self.scale
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+
+def quantize_tensor(x: np.ndarray, bits: int = 8) -> QuantizedTensor:
+    """Symmetric per-tensor linear quantization."""
+    x = np.asarray(x, dtype=np.float64)
+    qmax = 2 ** (bits - 1) - 1
+    amax = np.abs(x).max()
+    scale = (amax / qmax) if amax > 0 else 1.0
+    values = np.clip(np.round(x / scale), -qmax, qmax).astype(
+        np.int8 if bits <= 8 else (np.int16 if bits <= 16 else np.int32)
+    )
+    return QuantizedTensor(values, float(scale), bits)
+
+
+def quantization_error_bound(qt: QuantizedTensor) -> float:
+    """Worst-case absolute rounding error of one quantized element."""
+    return 0.5 * qt.scale
+
+
+def fused_conv_pool_int(
+    x: QuantizedTensor,
+    w: QuantizedTensor,
+    bias: Optional[np.ndarray] = None,
+    pool: int = 2,
+    apply_relu: bool = True,
+) -> np.ndarray:
+    """Integer fused conv-pool: int box-sum, int MACs, float epilogue.
+
+    ``x``: quantized (C, H, W) activations; ``w``: quantized
+    (M, C, K, K) weights.  The box sum and the multiply-accumulate run
+    entirely in int64 (exact); only the final rescale by
+    ``x.scale * w.scale / pool^2``, the bias addition and the ReLU
+    happen in floating point — exactly the split the preprocessing
+    stage of Fig. 9 implements (shift + bias + activation).
+    """
+    xi = x.values.astype(ACC_DTYPE)
+    wi = w.values.astype(ACC_DTYPE)
+    if xi.ndim != 3 or wi.ndim != 4:
+        raise ValueError("expected (C,H,W) activations and (M,C,K,K) weights")
+    c, h, wdt = xi.shape
+    m, cw, k, _ = wi.shape
+    if c != cw:
+        raise ValueError(f"channel mismatch: {c} vs {cw}")
+
+    acc = box_sum(xi, pool)  # exact int box sum (the I_Acc plane)
+    co = h - k + 1
+    po = (co - pool) // pool + 1
+    if po < 1:
+        raise ValueError("input too small for one pooled output")
+
+    out = np.zeros((m, po, po), dtype=ACC_DTYPE)
+    # stride-p integer convolution over the box-summed plane
+    for ki in range(k):
+        for kj in range(k):
+            window = acc[:, ki : ki + pool * po : pool, kj : kj + pool * po : pool]
+            out += np.einsum("mc,cij->mij", wi[:, :, ki, kj], window)
+
+    scale = x.scale * w.scale / float(pool * pool)
+    result = out.astype(np.float64) * scale
+    if bias is not None:
+        result += np.asarray(bias, dtype=np.float64)[:, None, None]
+    if apply_relu:
+        np.maximum(result, 0.0, out=result)
+    return result
+
+
+def fused_conv_pool_fp16(
+    x: np.ndarray,
+    w: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    pool: int = 2,
+    apply_relu: bool = True,
+) -> np.ndarray:
+    """Half-precision fused kernel (the FP16 accelerator configuration).
+
+    Operands are cast to ``float16``; products and the box sum are
+    accumulated in ``float32`` (the hardware accumulates wider than it
+    multiplies), then the epilogue runs in float32.  Returns float64
+    for comparison convenience.
+    """
+    x16 = np.asarray(x, dtype=np.float16).astype(np.float32)
+    w16 = np.asarray(w, dtype=np.float16).astype(np.float32)
+    if x16.ndim != 3 or w16.ndim != 4:
+        raise ValueError("expected (C,H,W) activations and (M,C,K,K) weights")
+    c, h, _ = x16.shape
+    m, cw, k, _ = w16.shape
+    if c != cw:
+        raise ValueError(f"channel mismatch: {c} vs {cw}")
+    acc = box_sum(x16, pool)
+    co = h - k + 1
+    po = (co - pool) // pool + 1
+    if po < 1:
+        raise ValueError("input too small for one pooled output")
+    out = np.zeros((m, po, po), dtype=np.float32)
+    for ki in range(k):
+        for kj in range(k):
+            window = acc[:, ki : ki + pool * po : pool, kj : kj + pool * po : pool]
+            out += np.einsum("mc,cij->mij", w16[:, :, ki, kj], window)
+    result = out.astype(np.float64) / float(pool * pool)
+    if bias is not None:
+        result += np.asarray(bias, dtype=np.float64)[:, None, None]
+    if apply_relu:
+        np.maximum(result, 0.0, out=result)
+    return result
+
+
+def int_path_error_bound(
+    x: QuantizedTensor, w: QuantizedTensor, pool: int = 2
+) -> float:
+    """A-priori bound on |int path - float path| per pooled output.
+
+    Each product's error is bounded by
+    ``|x| * dw + |w| * dx + dx * dw`` with ``dx = x.scale / 2``,
+    ``dw = w.scale / 2``; a pooled output sums ``C * K^2 * pool^2``
+    products (before the 1/pool^2 scaling).
+    """
+    m, c, k, _ = w.values.shape
+    dx = 0.5 * x.scale
+    dw = 0.5 * w.scale
+    xmax = np.abs(x.dequantize()).max()
+    wmax = np.abs(w.dequantize()).max()
+    per_product = xmax * dw + wmax * dx + dx * dw
+    return c * k * k * per_product  # pool^2 products / pool^2 scaling cancel

@@ -1,0 +1,360 @@
+"""The fused convolution-pooling kernel (Section IV, Algorithm 1).
+
+After reordering (``Conv -> AvgPool -> ReLU``) the two linear layers
+fuse: a p x p average pool (stride p) over a stride-1 K x K convolution
+equals a stride-p K x K convolution over the p x p *box sum* of the
+input (``I_Acc`` in the paper), divided by ``p^2``:
+
+.. math::
+
+    P_{x,y} = \\mathrm{ReLU}\\Big(\\frac{1}{p^2} \\sum_{i,j,c}
+        W_{c,i,j} \\cdot I\\_Acc_{c,\\,p x + i,\\,p y + j} + B\\Big)
+
+Two implementations live here:
+
+* :func:`fused_conv_pool` — a fully vectorized NumPy execution used for
+  inference and for the functional-equivalence property tests.
+* :func:`fused_conv_pool_counted` — an instrumented reference executor
+  (explicit loops, small inputs only) that performs the half-addition /
+  full-addition / major-accumulation schedule of Algorithm 1 with
+  configurable reuse caches, counting every scalar operation.  This is
+  the ground truth for the analytical models in
+  :mod:`repro.core.opcount` and for the RTL micro-simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn import functional as F
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor, make_node, send_grad
+
+
+def box_sum(x: np.ndarray, p: int) -> np.ndarray:
+    """p x p box sum over the trailing two axes (the paper's ``I_Acc``).
+
+    Output spatial dims are ``H - p + 1`` x ``W - p + 1``.
+    """
+    if p < 1:
+        raise ValueError(f"box size must be >= 1, got {p}")
+    if p == 1:
+        return x
+    if x.shape[-1] < p or x.shape[-2] < p:
+        raise ValueError(f"input spatial dims {x.shape[-2:]} smaller than box {p}")
+    windows = sliding_window_view(x, (p, p), axis=(-2, -1))
+    return windows.sum(axis=(-2, -1))
+
+
+def fused_conv_pool(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    pool: int = 2,
+    pool_stride: Optional[int] = None,
+    padding: int = 0,
+    activation: str = "relu",
+) -> Tensor:
+    """Execute ``ReLU(AvgPool_p(Conv_K(x)))`` as one fused kernel.
+
+    RME in vectorized form: the convolution runs on the box-summed
+    input with stride ``p``, touching each weight once per *pooled*
+    output.  Supports autograd (gradients flow through the box sum), so
+    a fused network remains trainable.
+
+    Only ``pool_stride == pool`` (non-overlapping pooling) is fusable;
+    the conv stride must be 1 (enforced by callers via
+    ``ConvBlock.is_fusable``).
+    """
+    pool_stride = pool if pool_stride is None else pool_stride
+    if pool_stride != pool:
+        raise ValueError(
+            f"fusion requires non-overlapping pooling, got window {pool} stride {pool_stride}"
+        )
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    n, c, h, w = x.shape
+
+    if padding:
+        pad = padding
+        xd = np.pad(x.data, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    else:
+        xd = x.data
+    acc = box_sum(xd, pool)
+    acc_t = make_node(acc, (x,))
+    if acc_t.requires_grad:
+
+        def _bw(g: np.ndarray) -> None:
+            # Scatter the box-sum gradient back to every contributing pixel.
+            hp, wp = xd.shape[-2:]
+            gx = np.zeros((n, c, hp, wp), dtype=g.dtype)
+            ho, wo = g.shape[-2:]
+            for i in range(pool):
+                for j in range(pool):
+                    gx[:, :, i : i + ho, j : j + wo] += g
+            if padding:
+                gx = gx[:, :, padding : padding + h, padding : padding + w]
+            send_grad(x, gx)
+
+        acc_t._backward = _bw
+
+    out = F.conv2d(acc_t, weight, bias=None, stride=pool)
+    out = out * (1.0 / (pool * pool))
+    if bias is not None:
+        m = weight.shape[0]
+        out = out + bias.reshape(1, m, 1, 1)
+    if activation == "relu":
+        return F.relu(out)
+    if activation == "sigmoid":
+        return F.sigmoid(out)
+    if activation == "tanh":
+        return F.tanh(out)
+    if activation == "none":
+        return out
+    raise ValueError(f"unknown activation {activation!r}")
+
+
+class FusedConvPool(Module):
+    """Module wrapper executing a fusable ConvBlock as the fused kernel.
+
+    Shares the parameters of the original block (no copy), so a fused
+    network stays in sync with the original weights.
+    """
+
+    def __init__(self, conv_block) -> None:
+        super().__init__()
+        if not conv_block.is_fusable():
+            raise ValueError(
+                "block is not fusable (needs pool_act order, average pooling, "
+                "unit conv stride, non-overlapping pool)"
+            )
+        if conv_block.bn is not None:
+            raise ValueError("fusion of batch-norm blocks is not supported")
+        ph, pw = conv_block.conv.padding
+        if ph != pw:
+            raise ValueError("fusion requires square padding")
+        # Keep a handle to the original block WITHOUT registering it as
+        # a child module: it must not be re-discovered (and re-fused) by
+        # module-tree walks, and its parameters are shared below anyway.
+        object.__setattr__(self, "source", conv_block)
+        self.padding = ph
+        self.pool = conv_block.pool.kernel
+        self.activation = conv_block.activation
+        # Share (not copy) parameters for counting and training.
+        self.register_parameter("weight", conv_block.conv.weight)
+        if conv_block.conv.bias is not None:
+            self.register_parameter("bias", conv_block.conv.bias)
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return fused_conv_pool(
+            x,
+            self.weight,
+            self.bias,
+            pool=self.pool,
+            padding=self.padding,
+            activation=self.activation,
+        )
+
+    def extra_repr(self) -> str:
+        return f"pool={self.pool}, padding={self.padding}, act={self.activation}"
+
+
+# ---------------------------------------------------------------------------
+# Instrumented reference executor
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OpCounter:
+    """Scalar-operation tally of an instrumented kernel execution."""
+
+    multiplications: int = 0
+    additions: int = 0
+    #: additions spent in half/full (small) accumulations
+    half_additions: int = 0
+    full_additions: int = 0
+    major_additions: int = 0
+    bias_additions: int = 0
+    #: cache hits, i.e. additions *avoided* by LAR/GAR reuse
+    reuse_hits: int = 0
+
+    def add(self, kind: str, n: int = 1) -> None:
+        self.additions += n
+        setattr(self, kind, getattr(self, kind) + n)
+
+    @property
+    def total(self) -> int:
+        return self.multiplications + self.additions
+
+
+def dense_conv_pool_counted(
+    x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None, pool: int = 2
+) -> Tuple[np.ndarray, OpCounter]:
+    """Reference dense execution (conv then average pool), fully counted.
+
+    Single image ``(C, H, W)`` and weights ``(M, C, K, K)``; the conv is
+    stride 1, valid padding, followed by a p x p stride-p average pool
+    and ReLU.  This is the baseline the paper's 16-mult example uses.
+    """
+    c, h, w = x.shape
+    m, cw, k, _ = weight.shape
+    if c != cw:
+        raise ValueError(f"channel mismatch: input {c}, weight {cw}")
+    counter = OpCounter()
+    co = h - k + 1
+    conv = np.zeros((m, co, co))
+    for to in range(m):
+        for i in range(co):
+            for j in range(co):
+                acc = 0.0
+                for ti in range(c):
+                    for ki in range(k):
+                        for kj in range(k):
+                            acc += x[ti, i + ki, j + kj] * weight[to, ti, ki, kj]
+                counter.multiplications += c * k * k
+                counter.add("major_additions", c * k * k - 1)
+                if bias is not None:
+                    acc += bias[to]
+                    counter.add("bias_additions", 1)
+                conv[to, i, j] = acc
+    po = (co - pool) // pool + 1
+    out = np.zeros((m, po, po))
+    for to in range(m):
+        for i in range(po):
+            for j in range(po):
+                s = conv[to, i * pool : i * pool + pool, j * pool : j * pool + pool].sum()
+                counter.add("major_additions", pool * pool - 1)
+                counter.multiplications += 1  # scaling by 1/p^2
+                out[to, i, j] = max(s / (pool * pool), 0.0)
+    return out, counter
+
+
+def fused_conv_pool_counted(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    pool: int = 2,
+    use_lar: bool = True,
+    use_gar_row: bool = True,
+    use_gar_col: bool = True,
+) -> Tuple[np.ndarray, OpCounter]:
+    """Algorithm 1 with explicit reuse caches and exact op counting.
+
+    Single image ``(C, H, W)``; stride-1 valid conv + p x p stride-p
+    average pool + ReLU, executed as half additions (vertical runs of
+    ``p``), full additions (horizontal runs of ``p`` half-additions),
+    and per-output major accumulations.
+
+    Reuse scopes:
+
+    * ``use_lar`` — half additions are cached while computing one
+      pooled output (shared between the overlapping full additions of
+      adjacent columns).
+    * ``use_gar_row`` — full/half additions persist across pooled
+      outputs in the same output row.
+    * ``use_gar_col`` — they persist across output rows too (and across
+      output channels, since ``I_Acc`` is input-only).
+
+    Returns the output feature map and the operation tally.  The output
+    is bit-identical in value to :func:`fused_conv_pool` up to fp
+    association order.
+    """
+    c, h, w = x.shape
+    m, cw, k, _ = weight.shape
+    if c != cw:
+        raise ValueError(f"channel mismatch: input {c}, weight {cw}")
+    counter = OpCounter()
+    co = h - k + 1
+    po = (co - pool) // pool + 1
+
+    # Cache scopes:
+    #   LAR  — half additions are shared between the overlapping full
+    #          additions computed for ONE pooled output (within-output).
+    #   GAR  — full (and half) additions persist across pooled outputs:
+    #          row scope keeps them for one output row, column scope for
+    #          the whole plane (and across output channels, since I_Acc
+    #          depends only on the input).
+    ha_cache: Dict[Tuple[int, int, int], float] = {}
+    fa_cache: Dict[Tuple[int, int, int], float] = {}
+
+    def half_add(ti: int, i: int, j: int) -> float:
+        """Vertical run I[i..i+p-1, j] (p-1 additions, LAR-cached)."""
+        key = (ti, i, j)
+        if use_lar and key in ha_cache:
+            counter.reuse_hits += pool - 1
+            return ha_cache[key]
+        val = float(x[ti, i, j])
+        for d in range(1, pool):
+            val += float(x[ti, i + d, j])
+        counter.add("half_additions", pool - 1)
+        if use_lar:
+            ha_cache[key] = val
+        return val
+
+    def small_acc(ti: int, i: int, j: int) -> float:
+        """I_Acc value at (i, j): the p x p box sum of the input.
+
+        With LAR it is a horizontal run of p cached half additions;
+        without, it costs the full ``p^2 - 1`` additions.
+        """
+        key = (ti, i, j)
+        if (use_gar_row or use_gar_col) and key in fa_cache:
+            # A cached I_Acc avoids the full p^2-1 additions a no-reuse
+            # execution would spend (its constituent HA hits are not
+            # separately counted), keeping additions+reuse_hits invariant.
+            counter.reuse_hits += pool * pool - 1
+            return fa_cache[key]
+        if use_lar:
+            val = half_add(ti, i, j)
+            for d in range(1, pool):
+                val = val + half_add(ti, i, j + d)
+            counter.add("full_additions", pool - 1)
+        else:
+            val = float(x[ti, i : i + pool, j : j + pool].sum())
+            counter.add("full_additions", pool * pool - 1)
+        if use_gar_row or use_gar_col:
+            fa_cache[key] = val
+        return val
+
+    out = np.zeros((m, po, po))
+    scale = 1.0 / (pool * pool)
+    for to in range(m):
+        if not use_gar_col:
+            ha_cache.clear()
+            fa_cache.clear()
+        for r in range(po):
+            if not use_gar_col:
+                ha_cache.clear()
+                fa_cache.clear()
+            for q in range(po):
+                if not use_gar_row and not use_gar_col:
+                    fa_cache.clear()
+                if not use_lar:
+                    pass  # half additions are never cached without LAR
+                elif not (use_gar_row or use_gar_col):
+                    ha_cache.clear()  # LAR scope: one pooled output
+                acc = 0.0
+                first = True
+                for ti in range(c):
+                    for ki in range(k):
+                        for kj in range(k):
+                            v = weight[to, ti, ki, kj] * small_acc(
+                                ti, r * pool + ki, q * pool + kj
+                            )
+                            counter.multiplications += 1
+                            if first:
+                                acc = v
+                                first = False
+                            else:
+                                acc += v
+                                counter.add("major_additions", 1)
+                val = acc * scale  # shift in hardware: not counted
+                if bias is not None:
+                    val += bias[to]
+                    counter.add("bias_additions", 1)
+                out[to, r, q] = max(val, 0.0)
+    return out, counter

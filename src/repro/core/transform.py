@@ -1,0 +1,88 @@
+"""Network-level fusion: rewrite reordered models to the fused kernel.
+
+:func:`fuse_network` walks the module tree and replaces every fusable
+:class:`~repro.models.blocks.ConvBlock` with a
+:class:`~repro.core.fusion.FusedConvPool` that *shares* its parameters.
+The rewrite is semantics-preserving (same outputs up to fp association)
+— the property tests in ``tests/core/test_transform.py`` assert it.
+
+Blocks that are not fusable (max pooling, original ReLU+AP order,
+strided convs, batch-norm between conv and pool) are left untouched;
+run :func:`repro.models.reorder.reorder_activation_pooling` and
+``set_pooling(model, "avg")`` first to maximize coverage, as the paper
+does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.fusion import FusedConvPool
+from repro.models.blocks import ConvBlock
+from repro.nn.layers import Module
+
+
+def _replace_children(module: Module, replaced: List[Tuple[str, FusedConvPool]], prefix: str) -> None:
+    for name, child in list(module._modules.items()):
+        path = f"{prefix}{name}"
+        if (
+            isinstance(child, ConvBlock)
+            and child.pool is not None
+            and child.is_fusable()
+            and child.bn is None
+            and child.conv.padding[0] == child.conv.padding[1]
+        ):
+            fused = FusedConvPool(child)
+            module._modules[name] = fused
+            object.__setattr__(module, name, fused)
+            replaced.append((path, fused))
+        else:
+            _replace_children(child, replaced, path + ".")
+
+
+def fuse_network(model: Module) -> Tuple[Module, List[Tuple[str, FusedConvPool]]]:
+    """Fuse every eligible conv-pool block in ``model`` (in place).
+
+    Returns ``(model, replaced)`` where ``replaced`` lists the module
+    paths that now execute the fused kernel.  Raises if nothing was
+    fusable, which usually means the model still has the original
+    ReLU+AP order or max pooling.
+    """
+    replaced: List[Tuple[str, FusedConvPool]] = []
+    _replace_children(model, replaced, "")
+    if not replaced:
+        raise ValueError(
+            "no fusable conv-pool blocks found; reorder the model "
+            "(reorder_activation_pooling) and use average pooling first"
+        )
+    return model, replaced
+
+
+def fused_blocks(model: Module) -> List[FusedConvPool]:
+    """All fused blocks currently in ``model``."""
+    return [m for _, m in model.named_modules() if isinstance(m, FusedConvPool)]
+
+
+def prepare_mlcnn(model: Module, quantize_bits: int = 0) -> Module:
+    """Apply the full MLCNN preparation pipeline in one call.
+
+    1. switch every pooling layer to average pooling (Section III.B);
+    2. reorder activation and pooling (``Conv -> AvgPool -> ReLU``);
+    3. fuse every eligible conv-pool block (RME + LAR + GAR);
+    4. optionally wrap remaining convolution blocks for k-bit DoReFa
+       execution (``quantize_bits``; 0 disables).
+
+    Note the changed-function caveat: for average pooling the reorder
+    changes outputs slightly (Jensen), so a *trained* original model
+    should be fine-tuned after preparation; a model *trained in the
+    reordered form* is unchanged by fusion.
+    """
+    from repro.core.quantize import QuantConfig, quantize_model
+    from repro.models.reorder import reorder_activation_pooling, set_pooling
+
+    set_pooling(model, "avg")
+    reorder_activation_pooling(model)
+    fuse_network(model)
+    if quantize_bits:
+        quantize_model(model, QuantConfig(quantize_bits, quantize_bits))
+    return model

@@ -1,0 +1,27 @@
+"""repro.data — dataset substrate.
+
+The paper trains on CIFAR-10/100; this environment has no network
+access, so :mod:`repro.data.synthetic` generates structured synthetic
+image-classification tasks ("synth-CIFAR") that exercise the identical
+training/inference code paths: class-specific spatial patterns, random
+shifts (which make pooling's shift tolerance matter, as in the paper's
+All-Conv comparison), and additive noise.
+"""
+
+from repro.data.dataset import ArrayDataset, DataLoader, train_val_split
+from repro.data.synthetic import SyntheticImageConfig, make_synth_cifar, synth_cifar10, synth_cifar100
+from repro.data.augment import Augmentation, cutout, random_crop, random_horizontal_flip
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "train_val_split",
+    "SyntheticImageConfig",
+    "make_synth_cifar",
+    "synth_cifar10",
+    "synth_cifar100",
+    "Augmentation",
+    "cutout",
+    "random_crop",
+    "random_horizontal_flip",
+]

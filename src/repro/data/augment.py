@@ -1,0 +1,88 @@
+"""Data augmentation transforms (NCHW batches).
+
+CIFAR training pipelines conventionally use random crops with padding
+and horizontal flips; the accuracy experiments can enable the same on
+the synthetic datasets.  All transforms are pure functions over batches
+with an explicit ``numpy.random.Generator`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+
+def random_horizontal_flip(
+    images: np.ndarray, rng: np.random.Generator, p: float = 0.5
+) -> np.ndarray:
+    """Flip each image left-right with probability ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    out = images.copy()
+    flip = rng.random(len(images)) < p
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def random_crop(
+    images: np.ndarray, rng: np.random.Generator, padding: int = 4
+) -> np.ndarray:
+    """Pad reflectively by ``padding`` and crop back at a random offset."""
+    if padding < 1:
+        raise ValueError("padding must be >= 1")
+    n, c, h, w = images.shape
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="reflect"
+    )
+    out = np.empty_like(images)
+    ys = rng.integers(0, 2 * padding + 1, size=n)
+    xs = rng.integers(0, 2 * padding + 1, size=n)
+    for i in range(n):
+        out[i] = padded[i, :, ys[i] : ys[i] + h, xs[i] : xs[i] + w]
+    return out
+
+
+def cutout(
+    images: np.ndarray, rng: np.random.Generator, size: int = 8
+) -> np.ndarray:
+    """Zero a random ``size x size`` square per image (DeVries & Taylor)."""
+    n, c, h, w = images.shape
+    if size < 1 or size > min(h, w):
+        raise ValueError(f"cutout size {size} invalid for {h}x{w} images")
+    out = images.copy()
+    ys = rng.integers(0, h - size + 1, size=n)
+    xs = rng.integers(0, w - size + 1, size=n)
+    for i in range(n):
+        out[i, :, ys[i] : ys[i] + size, xs[i] : xs[i] + size] = 0.0
+    return out
+
+
+@dataclass
+class Augmentation:
+    """A reproducible composition of batch transforms.
+
+    >>> aug = Augmentation(flip=True, crop_padding=4, seed=0)
+    >>> batch = aug(images)            # fresh randomness per call
+    """
+
+    flip: bool = True
+    crop_padding: int = 0
+    cutout_size: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        out = np.asarray(images)
+        if out.ndim != 4:
+            raise ValueError(f"expected an NCHW batch, got ndim={out.ndim}")
+        if self.crop_padding:
+            out = random_crop(out, self._rng, self.crop_padding)
+        if self.flip:
+            out = random_horizontal_flip(out, self._rng)
+        if self.cutout_size:
+            out = cutout(out, self._rng, self.cutout_size)
+        return out

@@ -1,0 +1,60 @@
+"""repro.experiments — one entry point per paper table/figure.
+
+Each function regenerates the rows/series of one table or figure of the
+paper's evaluation and returns an
+:class:`~repro.analysis.report.ExperimentReport`; the benchmark suite
+(``benchmarks/``) wraps these with pytest-benchmark and prints the
+rendered tables next to the paper's reference values.
+
+Accuracy experiments (Figs. 3, 4, 12) train width-reduced models on the
+synthetic datasets; their cost is controlled by the ``budget``
+argument.
+"""
+
+from repro.experiments.analytic import (
+    table1_models,
+    table2_lar_filter,
+    table3_lar_stride,
+    table4_gar_filter,
+    table5_gar_stride,
+    table6_gar_inputdim,
+    equation_limits,
+)
+from repro.experiments.accelerator import (
+    table7_configs,
+    fig13_speedup,
+    fig14_flops_reduction,
+    fig15_energy,
+    ablation_reuse,
+    extension_resnet18,
+    related_fused_layer,
+    extension_pruning,
+)
+from repro.experiments.accuracy import (
+    AccuracyBudget,
+    fig3_reordering_accuracy,
+    fig4_pooling_accuracy,
+    fig12_quantization_accuracy,
+)
+
+__all__ = [
+    "table1_models",
+    "table2_lar_filter",
+    "table3_lar_stride",
+    "table4_gar_filter",
+    "table5_gar_stride",
+    "table6_gar_inputdim",
+    "equation_limits",
+    "table7_configs",
+    "fig13_speedup",
+    "fig14_flops_reduction",
+    "fig15_energy",
+    "ablation_reuse",
+    "extension_resnet18",
+    "related_fused_layer",
+    "extension_pruning",
+    "AccuracyBudget",
+    "fig3_reordering_accuracy",
+    "fig4_pooling_accuracy",
+    "fig12_quantization_accuracy",
+]

@@ -1,0 +1,93 @@
+"""Run every reproduction experiment from the command line.
+
+Usage::
+
+    python -m repro.experiments                # analytic + accelerator
+    python -m repro.experiments --accuracy     # include training runs
+    python -m repro.experiments --only table2 fig13
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablation_reuse,
+    extension_resnet18,
+    related_fused_layer,
+    extension_pruning,
+    equation_limits,
+    fig3_reordering_accuracy,
+    fig4_pooling_accuracy,
+    fig12_quantization_accuracy,
+    fig13_speedup,
+    fig14_flops_reduction,
+    fig15_energy,
+    table1_models,
+    table2_lar_filter,
+    table3_lar_stride,
+    table4_gar_filter,
+    table5_gar_stride,
+    table6_gar_inputdim,
+    table7_configs,
+)
+from repro.experiments.accuracy import FAST_BUDGET, AccuracyBudget
+
+FAST_EXPERIMENTS = {
+    "table1": table1_models,
+    "table2": table2_lar_filter,
+    "table3": table3_lar_stride,
+    "table4": table4_gar_filter,
+    "table5": table5_gar_stride,
+    "table6": table6_gar_inputdim,
+    "limits": equation_limits,
+    "table7": table7_configs,
+    "fig13": fig13_speedup,
+    "fig14": fig14_flops_reduction,
+    "fig15": fig15_energy,
+    "ablation": ablation_reuse,
+    "resnet18": extension_resnet18,
+    "fusedlayer": related_fused_layer,
+    "pruning": extension_pruning,
+}
+
+ACCURACY_EXPERIMENTS = {
+    "fig3": fig3_reordering_accuracy,
+    "fig4": fig4_pooling_accuracy,
+    "fig12": fig12_quantization_accuracy,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accuracy", action="store_true", help="also run the training experiments")
+    parser.add_argument("--full", action="store_true", help="use the full training budget")
+    parser.add_argument("--only", nargs="*", default=None, help="subset of experiment names")
+    args = parser.parse_args(argv)
+
+    experiments = dict(FAST_EXPERIMENTS)
+    if args.accuracy or (args.only and set(args.only) & set(ACCURACY_EXPERIMENTS)):
+        experiments.update(ACCURACY_EXPERIMENTS)
+    if args.only:
+        unknown = set(args.only) - set(experiments)
+        if unknown:
+            parser.error(f"unknown experiments {sorted(unknown)}; "
+                         f"available: {sorted(experiments)}")
+        experiments = {k: experiments[k] for k in args.only}
+
+    budget = AccuracyBudget() if args.full else FAST_BUDGET
+    for name, fn in experiments.items():
+        start = time.time()
+        if name in ACCURACY_EXPERIMENTS:
+            report = fn(budget=budget)
+        else:
+            report = fn()
+        report.show()
+        print(f"  [{name}: {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

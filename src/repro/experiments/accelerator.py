@@ -1,0 +1,291 @@
+"""Accelerator experiments: Table VII and Figs. 13-15.
+
+The paper reports per-layer speedups (Fig. 13), per-layer FLOP
+reductions (Fig. 14) and energy breakdowns (Fig. 15) for the
+MLCNN-optimized layers of DenseNet, VGG-16, GoogLeNet and LeNet-5, plus
+averages across them.  Absolute cycle/energy values depend on our model
+constants; the reproduction targets are the ratios and their ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accel.area import config_area_mm2, slices_for_budget
+from repro.accel.config import TABLE7_CONFIGS, get_config
+from repro.accel.simulator import compare_networks, simulate_network
+from repro.analysis.flops import layer_table
+from repro.analysis.report import ExperimentReport, format_percent
+from repro.models import specs as model_specs
+
+EVALUATED_MODELS = ("densenet", "vgg16", "googlenet", "lenet5")
+
+#: paper headline averages over optimized layers: config -> (speedup, energy eff)
+FIG13_15_PAPER = {"mlcnn-fp32": (3.2, 2.9), "mlcnn-fp16": (6.2, 5.9), "mlcnn-int8": (12.8, 11.3)}
+
+
+def table7_configs() -> ExperimentReport:
+    """Table VII: accelerator configurations under one area budget."""
+    rep = ExperimentReport(
+        "Table VII",
+        "accelerator configurations (equal area and on-chip memory)",
+        headers=["config", "#MAC slices", "bitwidth", "area mm^2 (model)", "memory kB", "slices fitting budget"],
+    )
+    for name, cfg in TABLE7_CONFIGS.items():
+        rep.add_row(
+            name,
+            cfg.mac_slices,
+            cfg.bitwidth,
+            f"{config_area_mm2(cfg.mac_slices, cfg.bitwidth):.2f}",
+            cfg.onchip_memory_kb,
+            slices_for_budget(cfg.bitwidth, cfg.area_mm2),
+        )
+    rep.add_note("paper uses 32/32/64/128 slices at a fixed 1.52 mm^2 and 134 kB")
+    return rep
+
+
+def _fused_layer_metrics(model: str, candidate: str) -> Dict[str, Tuple[float, float]]:
+    """(speedup, energy ratio) of each fusable layer of ``model``."""
+    layer_specs = model_specs.get_specs(model)
+    cmp = compare_networks(layer_specs, get_config("dcnn-fp32"), get_config(candidate))
+    speed = cmp.layer_speedups()
+    energy = cmp.layer_energy_ratios()
+    return {
+        s.name: (speed[s.name], energy[s.name])
+        for s in layer_specs
+        if s.is_fusable
+    }
+
+
+def fig13_speedup(models: Sequence[str] = EVALUATED_MODELS) -> ExperimentReport:
+    """Fig. 13: per-optimized-layer speedup of MLCNN over the DCNN baseline."""
+    rep = ExperimentReport(
+        "Fig. 13",
+        "speedup of MLCNN (FP32/FP16/INT8) vs DCNN per optimized layer",
+        headers=["model", "layer", "FP32", "FP16", "INT8"],
+    )
+    averages = {c: [] for c in FIG13_15_PAPER}
+    for model in models:
+        per_cfg = {c: _fused_layer_metrics(model, c) for c in FIG13_15_PAPER}
+        for layer in per_cfg["mlcnn-fp32"]:
+            row = [model, layer]
+            for c in FIG13_15_PAPER:
+                s = per_cfg[c][layer][0]
+                averages[c].append(s)
+                row.append(f"{s:.2f}x")
+            rep.add_row(*row)
+    for c, (paper_speed, _) in FIG13_15_PAPER.items():
+        ours = np.mean(averages[c])
+        rep.add_row("AVERAGE", c, f"{ours:.2f}x", "paper:", f"{paper_speed}x")
+    rep.add_note("GoogLeNet stage-5b layers (8x8 pool) show the largest gains, as the paper's C9")
+    return rep
+
+
+def fig14_flops_reduction(models: Sequence[str] = EVALUATED_MODELS) -> ExperimentReport:
+    """Fig. 14: percentage of multiplications/additions removed per layer."""
+    rep = ExperimentReport(
+        "Fig. 14",
+        "FLOPs reduced by MLCNN per optimized layer",
+        headers=["model", "layer", "K", "pool", "mult reduction", "add reduction"],
+    )
+    for model in models:
+        for row in layer_table(model_specs.get_specs(model)):
+            if not row["fusable"]:
+                continue
+            rep.add_row(
+                model,
+                row["layer"],
+                row["kernel"],
+                row["pool"],
+                format_percent(row["mult_reduction"]),
+                format_percent(row["add_reduction"]),
+            )
+    rep.add_note("paper: 75% mults for 2x2 pools, up to 98% for GoogLeNet's 8x8;")
+    rep.add_note("paper: LeNet-5 C2 peaks at 51.52% additions, DenseNet 1x1 transitions at 0%")
+    rep.add_note(
+        "our addition reductions exceed the paper's because the layer model "
+        "amortizes I_Acc over all output channels (the hardware does); the "
+        "per-output single-channel accounting of Tables II-VI is reproduced "
+        "exactly by repro.core.opcount"
+    )
+    return rep
+
+
+def fig15_energy(models: Sequence[str] = EVALUATED_MODELS) -> ExperimentReport:
+    """Fig. 15: energy breakdown (DRAM/Buffer/MAC/static) per network."""
+    rep = ExperimentReport(
+        "Fig. 15",
+        "energy consumption breakdown, MLCNN vs DCNN",
+        headers=["model", "config", "DRAM uJ", "Buffer uJ", "MAC uJ", "static uJ", "total uJ", "efficiency"],
+    )
+    for model in models:
+        layer_specs = model_specs.get_specs(model)
+        base = simulate_network(layer_specs, get_config("dcnn-fp32"))
+        base_total = base.energy.total_j
+        for cfg_name in ("dcnn-fp32", "mlcnn-fp32", "mlcnn-fp16", "mlcnn-int8"):
+            res = simulate_network(layer_specs, get_config(cfg_name))
+            e = res.energy
+            rep.add_row(
+                model,
+                cfg_name,
+                f"{e.dram_j * 1e6:.2f}",
+                f"{e.buffer_j * 1e6:.2f}",
+                f"{e.mac_j * 1e6:.2f}",
+                f"{e.static_j * 1e6:.2f}",
+                f"{e.total_j * 1e6:.2f}",
+                f"{base_total / e.total_j:.2f}x",
+            )
+    # per-optimized-layer averages, the paper's headline numbers
+    for c, (_, paper_eff) in FIG13_15_PAPER.items():
+        vals = []
+        for model in models:
+            vals += [m[1] for m in _fused_layer_metrics(model, c).values()]
+        rep.add_row("AVERAGE(fused layers)", c, "", "", "", "", f"{np.mean(vals):.2f}x", f"paper: {paper_eff}x")
+    return rep
+
+
+def related_fused_layer() -> ExperimentReport:
+    """Related-work comparison (Section VIII): MLCNN vs fused-layer CNN.
+
+    Alwani et al.'s fused-layer execution [27] keeps intermediate
+    feature maps on chip (saving DRAM traffic) but performs every
+    multiplication; the paper argues MLCNN (3.2x) beats it (1.5x for
+    AlexNet's first two layers) because it removes the arithmetic too.
+    """
+    import dataclasses
+
+    from repro.accel.simulator import simulate_network, simulate_network_layer_fused
+
+    rep = ExperimentReport(
+        "Related work",
+        "MLCNN vs Alwani-style fused-layer execution (DCNN FP32 baseline)",
+        headers=[
+            "model",
+            "fused-layer speedup",
+            "fused-layer @low-BW",
+            "MLCNN speedup (whole net)",
+            "MLCNN (optimized layers)",
+        ],
+    )
+    base_cfg = get_config("dcnn-fp32")
+    # Fused-layer execution saves only data movement, so its benefit
+    # appears at memory-bound operating points (AlexNet's large early
+    # feature maps in the paper); model that with 8x lower bandwidth.
+    lowbw_cfg = dataclasses.replace(base_cfg, dram_bytes_per_cycle=2.0)
+    for model in EVALUATED_MODELS:
+        layer_specs = model_specs.get_specs(model)
+        base = simulate_network(layer_specs, base_cfg)
+        alwani = simulate_network_layer_fused(layer_specs, base_cfg)
+        base_low = simulate_network(layer_specs, lowbw_cfg)
+        alwani_low = simulate_network_layer_fused(layer_specs, lowbw_cfg)
+        mlcnn = simulate_network(layer_specs, get_config("mlcnn-fp32"))
+        fused_avg = np.mean(
+            [v for v in _fused_layer_metrics(model, "mlcnn-fp32").values()], axis=0
+        )[0]
+        rep.add_row(
+            model,
+            f"{base.cycles / alwani.cycles:.2f}x",
+            f"{base_low.cycles / alwani_low.cycles:.2f}x",
+            f"{base.cycles / mlcnn.cycles:.2f}x",
+            f"{fused_avg:.2f}x",
+        )
+    rep.add_note("paper: fused layers gave 1.5x on AlexNet's first 2 conv layers; MLCNN 3.2x")
+    rep.add_note("fused-layer helps only when memory-bound; MLCNN removes the arithmetic itself")
+    return rep
+
+
+def extension_pruning(sparsities=(0.0, 0.5, 0.9)) -> ExperimentReport:
+    """Extension: MLCNN composed with magnitude pruning (orthogonality).
+
+    The paper claims MLCNN is complementary to pruning [29]; with
+    weight-repetition hardware skipping zero weights, the multiplication
+    savings compose multiplicatively: ``1 - (1 - s) / p^2``.
+    """
+    from repro.core.prune import combined_reduction
+
+    rep = ExperimentReport(
+        "Extension (pruning)",
+        "multiplication reduction of MLCNN composed with weight sparsity",
+        headers=["model", "sparsity", "MLCNN only", "pruning only", "combined"],
+    )
+    from repro.core.opcount import layer_multiplication_reduction
+
+    for model in EVALUATED_MODELS:
+        fused = model_specs.fusable_layers(model_specs.get_specs(model))
+        for s in sparsities:
+            ml = np.mean([layer_multiplication_reduction(spec) for spec in fused])
+            combined = np.mean([combined_reduction(spec, s) for spec in fused])
+            rep.add_row(
+                model,
+                f"{s:.0%}",
+                format_percent(ml),
+                f"{s:.0%}",
+                format_percent(combined),
+            )
+    return rep
+
+
+def extension_resnet18() -> ExperimentReport:
+    """Extension: MLCNN on ResNet-18 (paper's conclusion claim).
+
+    The conclusions state "the convolutional layers with pooling in
+    ResNet-18 can benefit from MLCNN with layer reordering and
+    cross-layer optimization"; the CIFAR-style variant here has one
+    such layer (the pooled stem).
+    """
+    layer_specs = model_specs.get_specs("resnet18")
+    rep = ExperimentReport(
+        "Extension (ResNet-18)",
+        "MLCNN applied to ResNet-18's pooled stem",
+        headers=["layer", "fused", "FP32 speedup", "INT8 speedup"],
+    )
+    cmp32 = compare_networks(layer_specs, get_config("dcnn-fp32"), get_config("mlcnn-fp32"))
+    cmp8 = compare_networks(layer_specs, get_config("dcnn-fp32"), get_config("mlcnn-int8"))
+    s32, s8 = cmp32.layer_speedups(), cmp8.layer_speedups()
+    for spec in layer_specs:
+        rep.add_row(
+            spec.name,
+            "yes" if spec.is_fusable else "no",
+            f"{s32[spec.name]:.2f}x",
+            f"{s8[spec.name]:.2f}x",
+        )
+    rep.add_row("WHOLE NET", "-", f"{cmp32.speedup:.2f}x", f"{cmp8.speedup:.2f}x")
+    return rep
+
+
+def ablation_reuse(models: Sequence[str] = EVALUATED_MODELS) -> ExperimentReport:
+    """Ablation: additions left under RME-only / +LAR / +GAR / +both.
+
+    Not a paper figure; quantifies how much of the addition saving each
+    reuse mechanism contributes at the layer level (DESIGN.md S6).
+    """
+    from repro.core.opcount import dcnn_layer_ops, mlcnn_layer_ops
+
+    rep = ExperimentReport(
+        "Ablation",
+        "addition reduction by reuse mechanism (fused layers, whole model)",
+        headers=["model", "baseline adds", "RME only", "+LAR", "+GAR", "+LAR+GAR"],
+    )
+    for model in models:
+        layer_specs = [s for s in model_specs.get_specs(model) if s.is_fusable]
+        base = sum(dcnn_layer_ops(s).additions for s in layer_specs)
+
+        def total(lar: bool, gar: bool) -> int:
+            return sum(
+                (lambda o: o.additions + o.preprocessing_additions)(
+                    mlcnn_layer_ops(s, use_lar=lar, use_gar=gar)
+                )
+                for s in layer_specs
+            )
+
+        rep.add_row(
+            model,
+            base,
+            format_percent(1 - total(False, False) / base),
+            format_percent(1 - total(True, False) / base),
+            format_percent(1 - total(False, True) / base),
+            format_percent(1 - total(True, True) / base),
+        )
+    return rep

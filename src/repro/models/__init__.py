@@ -1,0 +1,60 @@
+"""repro.models — CNN model zoo used in the paper's evaluation.
+
+The zoo includes the four evaluated networks (LeNet-5, VGG-16/19,
+GoogLeNet, DenseNet), the All-Conv variant used as a baseline in the
+reordering study, and a ResNet-18 extension (mentioned in the paper's
+conclusions).  Every model is assembled from :class:`ConvBlock` units
+whose activation/pooling relative order is a mutable attribute, which
+is what makes the paper's layer reordering a one-line graph transform.
+"""
+
+from repro.models.blocks import (
+    ConvBlock,
+    PoolSpec,
+    Inception,
+    PooledInception,
+    DenseBlock,
+    TransitionBlock,
+    BasicResBlock,
+)
+from repro.models.lenet import LeNet5
+from repro.models.alexnet import AlexNet
+from repro.models.vgg import VGG, vgg16, vgg19
+from repro.models.googlenet import GoogLeNet
+from repro.models.densenet import DenseNet
+from repro.models.resnet import ResNet18
+from repro.models.reorder import (
+    reorder_activation_pooling,
+    restore_original_order,
+    to_allconv,
+    set_pooling,
+    conv_pool_blocks,
+)
+from repro.models.registry import MODEL_REGISTRY, build_model
+from repro.models import specs
+
+__all__ = [
+    "ConvBlock",
+    "PoolSpec",
+    "PooledInception",
+    "Inception",
+    "DenseBlock",
+    "TransitionBlock",
+    "BasicResBlock",
+    "LeNet5",
+    "AlexNet",
+    "VGG",
+    "vgg16",
+    "vgg19",
+    "GoogLeNet",
+    "DenseNet",
+    "ResNet18",
+    "reorder_activation_pooling",
+    "restore_original_order",
+    "to_allconv",
+    "set_pooling",
+    "conv_pool_blocks",
+    "MODEL_REGISTRY",
+    "build_model",
+    "specs",
+]

@@ -1,0 +1,57 @@
+"""DenseNet (Huang et al.) with three transition blocks.
+
+The paper notes DenseNet already uses the *reordered* layout (pooling
+ahead of the nonlinearity) and reports that the three 1x1-conv + 2x2
+average-pool transition layers benefit from MLCNN — with zero addition
+reuse, because a 1x1 filter disables LAR/GAR (Section VII.C).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.blocks import ConvBlock, DenseBlock, TransitionBlock
+from repro.nn import functional as F
+from repro.nn.layers import Linear, Module, Sequential
+from repro.nn.tensor import Tensor
+
+
+class DenseNet(Module):
+    """Three dense blocks, each followed by a transition (1x1 conv + AP2)."""
+
+    name = "densenet"
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        growth_rate: int = 12,
+        block_layers: int = 4,
+        width_mult: float = 1.0,
+        order: str = "pool_act",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if image_size % 8 != 0:
+            raise ValueError(f"image_size must be divisible by 8, got {image_size}")
+        rng = rng or np.random.default_rng(0)
+        growth = max(2, round(growth_rate * width_mult))
+        ch = 2 * growth
+        self.stem = ConvBlock(in_channels, ch, 3, padding=1, rng=rng)
+
+        stages = []
+        for _ in range(3):
+            dense = DenseBlock(ch, growth, block_layers, rng=rng)
+            trans = TransitionBlock(dense.out_channels, dense.out_channels // 2, order=order, rng=rng)
+            stages.extend([dense, trans])
+            ch = trans.out_channels
+        self.stages = Sequential(*stages)
+        self.fc = Linear(ch, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stages(self.stem(x))
+        x = F.global_avg_pool2d(x)
+        return self.fc(x)

@@ -1,0 +1,95 @@
+"""GoogLeNet (Szegedy et al.), CIFAR-style variant.
+
+Table I counts "1+1+1 + 9x6" convolutions: a three-conv stem plus nine
+inception modules of six convolutions each.  Pooling follows the stem,
+inception 3b, and inception 4e, and a global average pool follows 5b;
+the paper reports twelve fusable layers (3 pooled inception stages x 4
+branch output convolutions) and attributes GoogLeNet's best-in-class
+multiplication reduction (98%) to its 8x8 final average pool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.blocks import ConvBlock, Inception, PooledInception, PoolSpec
+from repro.nn import functional as F
+from repro.nn.layers import Linear, Module, Sequential
+from repro.nn.tensor import Tensor
+
+
+def _scaled(width_mult: float, *vals: int):
+    return tuple(max(2, round(v * width_mult)) for v in vals)
+
+
+class GoogLeNet(Module):
+    """Nine-inception GoogLeNet with pooled stages.
+
+    ``final_pool_act`` controls whether the final ReLU sits before or
+    after the 8x8 global average pool (the paper's reordering applies
+    there as well; DenseNet/PNASNet already use the reordered layout).
+    """
+
+    name = "googlenet"
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        width_mult: float = 1.0,
+        pooling: str = "avg",
+        order: str = "act_pool",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if image_size % 4 != 0:
+            raise ValueError(f"image_size must be divisible by 4, got {image_size}")
+        rng = rng or np.random.default_rng(0)
+        m = width_mult
+
+        # Stem: three convolutions (Table I's leading "1+1+1").
+        s1, s2, s3 = _scaled(m, 64, 64, 192)
+        self.stem = Sequential(
+            ConvBlock(in_channels, s1, 3, padding=1, rng=rng),
+            ConvBlock(s1, s2, 1, rng=rng),
+            ConvBlock(s2, s3, 3, padding=1, rng=rng),
+        )
+
+        def incep(in_ch, *cfg):
+            return Inception(in_ch, *_scaled(m, *cfg), rng=rng)
+
+        i3a = incep(s3, 64, 96, 128, 16, 32, 32)
+        i3b = incep(i3a.out_channels, 128, 128, 192, 32, 96, 64)
+        self.stage3a = i3a
+        self.stage3b = PooledInception(i3b, PoolSpec(pooling, 2), order=order, rng=rng)
+
+        i4a = incep(i3b.out_channels, 192, 96, 208, 16, 48, 64)
+        i4b = incep(i4a.out_channels, 160, 112, 224, 24, 64, 64)
+        i4c = incep(i4b.out_channels, 128, 128, 256, 24, 64, 64)
+        i4d = incep(i4c.out_channels, 112, 144, 288, 32, 64, 64)
+        i4e = incep(i4d.out_channels, 256, 160, 320, 32, 128, 128)
+        self.stage4a = i4a
+        self.stage4b = i4b
+        self.stage4c = i4c
+        self.stage4d = i4d
+        self.stage4e = PooledInception(i4e, PoolSpec(pooling, 2), order=order, rng=rng)
+
+        i5a = incep(i4e.out_channels, 256, 160, 320, 32, 128, 128)
+        i5b = incep(i5a.out_channels, 384, 192, 384, 48, 128, 128)
+        final_spatial = image_size // 4
+        self.stage5a = i5a
+        self.stage5b = PooledInception(
+            i5b, PoolSpec("avg", final_spatial), order=order, rng=rng
+        )
+        self.fc = Linear(i5b.out_channels, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.stage3b(self.stage3a(x))
+        x = self.stage4e(self.stage4d(self.stage4c(self.stage4b(self.stage4a(x)))))
+        x = self.stage5b(self.stage5a(x))
+        x = x.reshape(x.shape[0], -1)
+        return self.fc(x)

@@ -1,0 +1,66 @@
+"""LeNet-5 (LeCun et al., 1998), as studied in the paper.
+
+Structure (Table I: "1+1+1" convolutions, ~62K parameters at 32x32):
+``conv5x5(6) -> pool2 -> conv5x5(16) -> pool2 -> conv5x5(120) -> fc(84)
+-> fc(classes)``.  Both pooling layers follow a convolution, so MLCNN
+optimizes the first two convolutional layers (Section VII.C).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.blocks import ConvBlock, PoolSpec
+from repro.nn import functional as F
+from repro.nn.layers import Flatten, Linear, Module, Sequential
+from repro.nn.tensor import Tensor
+
+
+class LeNet5(Module):
+    """LeNet-5 with configurable pooling kind and activation/pool order."""
+
+    name = "lenet5"
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        width_mult: float = 1.0,
+        pooling: str = "avg",
+        order: str = "act_pool",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        c1 = max(2, round(6 * width_mult))
+        c2 = max(4, round(16 * width_mult))
+        c3 = max(8, round(120 * width_mult))
+        c4 = max(8, round(84 * width_mult))
+
+        if image_size < 12:
+            raise ValueError(f"LeNet5 needs images of at least 12px, got {image_size}")
+        s1 = (image_size - 4) // 2  # after conv5 + pool2
+        s2 = (s1 - 4) // 2  # after conv5 + pool2
+        k3 = min(5, s2)  # final conv acts as a fully connected layer
+        s3 = s2 - k3 + 1
+
+        self.features = Sequential(
+            ConvBlock(
+                in_channels, c1, 5, pool=PoolSpec(pooling, 2), order=order, rng=rng
+            ),
+            ConvBlock(c1, c2, 5, pool=PoolSpec(pooling, 2), order=order, rng=rng),
+            ConvBlock(c2, c3, k3, rng=rng),
+        )
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(c3 * s3 * s3, c4, rng=rng),
+        )
+        self.fc_out = Linear(c4, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.features(x)
+        x = F.relu(self.classifier(x))
+        return self.fc_out(x)

@@ -1,0 +1,71 @@
+"""Model registry: name -> factory with uniform keyword arguments.
+
+Every factory accepts ``num_classes, in_channels, image_size,
+width_mult, pooling, order, rng`` (DenseNet ignores ``pooling`` — its
+transitions are average-pooled by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.models.alexnet import AlexNet
+from repro.models.densenet import DenseNet
+from repro.models.googlenet import GoogLeNet
+from repro.models.lenet import LeNet5
+from repro.models.resnet import ResNet18
+from repro.models.vgg import vgg16, vgg19
+from repro.nn.layers import Module
+
+
+def _densenet(num_classes=10, in_channels=3, image_size=32, width_mult=1.0,
+              pooling="avg", order="pool_act", rng=None) -> DenseNet:
+    # DenseNet transitions always average-pool (its native design).
+    return DenseNet(
+        num_classes=num_classes,
+        in_channels=in_channels,
+        image_size=image_size,
+        width_mult=width_mult,
+        order=order,
+        rng=rng,
+    )
+
+
+MODEL_REGISTRY: Dict[str, Callable[..., Module]] = {
+    "alexnet": AlexNet,
+    "lenet5": LeNet5,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "googlenet": GoogLeNet,
+    "densenet": _densenet,
+    "resnet18": ResNet18,
+}
+
+
+def build_model(
+    name: str,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    image_size: int = 32,
+    width_mult: float = 1.0,
+    pooling: str = "avg",
+    order: str = "act_pool",
+    seed: int = 0,
+    **kwargs,
+) -> Module:
+    """Instantiate a registered model with a seeded RNG."""
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
+    rng = np.random.default_rng(seed)
+    return MODEL_REGISTRY[name](
+        num_classes=num_classes,
+        in_channels=in_channels,
+        image_size=image_size,
+        width_mult=width_mult,
+        pooling=pooling,
+        order=order,
+        rng=rng,
+        **kwargs,
+    )

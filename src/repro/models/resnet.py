@@ -1,0 +1,61 @@
+"""ResNet-18 (extension).
+
+The paper's conclusion notes MLCNN also applies to ResNet-18's
+convolution+pooling layers.  This CIFAR-style variant places a pooled
+:class:`ConvBlock` stem (conv3x3 + 2x2 pool) ahead of four basic-block
+stages, so the stem convolution is MLCNN-fusable after reordering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.blocks import BasicResBlock, ConvBlock, PoolSpec
+from repro.nn import functional as F
+from repro.nn.layers import Linear, Module, Sequential
+from repro.nn.tensor import Tensor
+
+
+class ResNet18(Module):
+    name = "resnet18"
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        width_mult: float = 1.0,
+        pooling: str = "avg",
+        order: str = "act_pool",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if image_size % 16 != 0:
+            raise ValueError(f"image_size must be divisible by 16, got {image_size}")
+        rng = rng or np.random.default_rng(0)
+        w = [max(4, round(c * width_mult)) for c in (64, 64, 128, 256, 512)]
+
+        self.stem = ConvBlock(
+            in_channels, w[0], 3, padding=1, pool=PoolSpec(pooling, 2), order=order, rng=rng
+        )
+        self.layer1 = Sequential(
+            BasicResBlock(w[0], w[1], rng=rng), BasicResBlock(w[1], w[1], rng=rng)
+        )
+        self.layer2 = Sequential(
+            BasicResBlock(w[1], w[2], stride=2, rng=rng), BasicResBlock(w[2], w[2], rng=rng)
+        )
+        self.layer3 = Sequential(
+            BasicResBlock(w[2], w[3], stride=2, rng=rng), BasicResBlock(w[3], w[3], rng=rng)
+        )
+        self.layer4 = Sequential(
+            BasicResBlock(w[3], w[4], stride=2, rng=rng), BasicResBlock(w[4], w[4], rng=rng)
+        )
+        self.fc = Linear(w[4], num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.layer4(self.layer3(self.layer2(self.layer1(x))))
+        x = F.global_avg_pool2d(x)
+        return self.fc(x)

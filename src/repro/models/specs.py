@@ -1,0 +1,257 @@
+"""Full-size per-layer shape specifications for the evaluated CNNs.
+
+The accelerator experiments (Figs. 13-15) need exact layer shapes of the
+*full-size* networks at CIFAR resolution (32x32) without paying for
+weight allocation or NumPy inference.  A :class:`LayerSpec` describes
+one convolutional layer and the pooling (if any) that follows it; spec
+lists are consumed by :mod:`repro.core.opcount` and
+:mod:`repro.accel.simulator`.
+
+The fusable-layer counts reproduce Section VII: LeNet-5 has 2, VGG-16
+has 5, GoogLeNet has 12 (3 pooled inception stages x 4 branch output
+convolutions), DenseNet has 3 (transition blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Shape of one convolutional layer and its (optional) pooling."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    input_size: int  # spatial dimension of the (square) input feature map
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    pool: int = 0  # pooling window (0: no pooling follows this conv)
+    pool_stride: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kernel < 1 or self.in_channels < 1 or self.out_channels < 1:
+            raise ValueError(f"invalid layer spec {self}")
+        if self.pool and not self.pool_stride:
+            object.__setattr__(self, "pool_stride", self.pool)
+
+    @property
+    def conv_output_size(self) -> int:
+        out = (self.input_size + 2 * self.padding - self.kernel) // self.stride + 1
+        if out <= 0:
+            raise ValueError(f"layer {self.name} has empty output")
+        return out
+
+    @property
+    def output_size(self) -> int:
+        """Spatial size after the pooling (if any)."""
+        conv = self.conv_output_size
+        if not self.pool:
+            return conv
+        return (conv - self.pool) // self.pool_stride + 1
+
+    @property
+    def is_fusable(self) -> bool:
+        """Fusable by MLCNN: a (reorderable) pool follows a stride-1 conv."""
+        return self.pool > 1 and self.stride == 1
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of the plain convolution."""
+        return (
+            self.conv_output_size ** 2
+            * self.out_channels
+            * self.in_channels
+            * self.kernel ** 2
+        )
+
+    @property
+    def weight_count(self) -> int:
+        return self.out_channels * self.in_channels * self.kernel ** 2 + self.out_channels
+
+
+def lenet5_specs(image_size: int = 32, in_channels: int = 3) -> List[LayerSpec]:
+    """LeNet-5: C1/C2 are fused with their 2x2 average pools; C3 is not."""
+    d1 = (image_size - 4) // 2
+    d2 = (d1 - 4) // 2
+    return [
+        LayerSpec("C1", in_channels, 6, image_size, 5, pool=2),
+        LayerSpec("C2", 6, 16, d1, 5, pool=2),
+        LayerSpec("C3", 16, 120, d2, min(5, d2)),
+    ]
+
+
+def vgg_specs(variant: str = "vgg16", image_size: int = 32, in_channels: int = 3) -> List[LayerSpec]:
+    """VGG-16/19: the last conv of each of the 5 stages carries the pool."""
+    depths = {"vgg16": [2, 2, 3, 3, 3], "vgg19": [2, 2, 4, 4, 4]}[variant]
+    widths = [64, 128, 256, 512, 512]
+    specs: List[LayerSpec] = []
+    ch, size, idx = in_channels, image_size, 1
+    for depth, width in zip(depths, widths):
+        for i in range(depth):
+            last = i == depth - 1
+            specs.append(
+                LayerSpec(
+                    f"C{idx}", ch, width, size, 3, padding=1, pool=2 if last else 0
+                )
+            )
+            ch = width
+            idx += 1
+        size //= 2
+    return specs
+
+
+def vgg16_specs(image_size: int = 32, in_channels: int = 3) -> List[LayerSpec]:
+    return vgg_specs("vgg16", image_size, in_channels)
+
+
+def vgg19_specs(image_size: int = 32, in_channels: int = 3) -> List[LayerSpec]:
+    return vgg_specs("vgg19", image_size, in_channels)
+
+
+#: inception channel configuration: (c1, c3r, c3, c5r, c5, pool_proj)
+_INCEPTION_CFG = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+#: stages whose inception output is pooled (window size at 32x32 input)
+_GOOGLENET_POOLED = {"3b": 2, "4e": 2, "5b": 8}
+
+
+def googlenet_specs(image_size: int = 32, in_channels: int = 3) -> List[LayerSpec]:
+    """GoogLeNet: 3 stem convs + 9 inception modules of 6 convs each.
+
+    The four *output* convolutions of the pooled stages (3b, 4e, 5b) are
+    fusable — 12 layers total, matching the paper.  The final stage 5b
+    feeds the 8x8 global average pool, which is why its branch convs
+    (C9-C12 in the paper's figure numbering of fusable layers) see a 98%
+    multiplication reduction.
+    """
+    specs: List[LayerSpec] = []
+    size = image_size
+    specs.append(LayerSpec("stem1", in_channels, 64, size, 3, padding=1))
+    specs.append(LayerSpec("stem2", 64, 64, size, 1))
+    specs.append(LayerSpec("stem3", 64, 192, size, 3, padding=1))
+    ch = 192
+    for stage, cfg in _INCEPTION_CFG.items():
+        c1, c3r, c3, c5r, c5, pp = cfg
+        pool = _GOOGLENET_POOLED.get(stage, 0)
+        if pool == 8:
+            pool = size  # global average pool over the current spatial size
+        specs.extend(
+            [
+                LayerSpec(f"{stage}.b1", ch, c1, size, 1, pool=pool),
+                LayerSpec(f"{stage}.b2r", ch, c3r, size, 1),
+                LayerSpec(f"{stage}.b2", c3r, c3, size, 3, padding=1, pool=pool),
+                LayerSpec(f"{stage}.b3r", ch, c5r, size, 1),
+                LayerSpec(f"{stage}.b3", c5r, c5, size, 5, padding=2, pool=pool),
+                LayerSpec(f"{stage}.b4", ch, pp, size, 1, pool=pool),
+            ]
+        )
+        ch = c1 + c3 + c5 + pp
+        if pool:
+            size = (size - pool) // pool + 1
+    return specs
+
+
+def densenet_specs(
+    image_size: int = 32,
+    in_channels: int = 3,
+    growth_rate: int = 12,
+    block_layers: int = 4,
+) -> List[LayerSpec]:
+    """DenseNet: dense 3x3 convs plus three 1x1-conv transitions with AP2."""
+    specs: List[LayerSpec] = []
+    size = image_size
+    ch = 2 * growth_rate
+    specs.append(LayerSpec("stem", in_channels, ch, size, 3, padding=1))
+    for b in range(3):
+        for l in range(block_layers):
+            specs.append(
+                LayerSpec(f"B{b + 1}.conv{l + 1}", ch, growth_rate, size, 3, padding=1)
+            )
+            ch += growth_rate
+        specs.append(LayerSpec(f"T{b + 1}", ch, ch // 2, size, 1, pool=2))
+        ch //= 2
+        size //= 2
+    return specs
+
+
+def resnet18_specs(image_size: int = 32, in_channels: int = 3) -> List[LayerSpec]:
+    """ResNet-18 (CIFAR-style): pooled stem + 4 stages of 2 basic blocks."""
+    specs: List[LayerSpec] = [
+        LayerSpec("stem", in_channels, 64, image_size, 3, padding=1, pool=2)
+    ]
+    size = image_size // 2
+    ch = 64
+    for stage, width in enumerate((64, 128, 256, 512), start=1):
+        for block in (1, 2):
+            stride = 2 if (stage > 1 and block == 1) else 1
+            specs.append(
+                LayerSpec(f"L{stage}.{block}a", ch, width, size, 3, stride=stride, padding=1)
+            )
+            if stride == 2:
+                size //= 2
+            specs.append(LayerSpec(f"L{stage}.{block}b", width, width, size, 3, padding=1))
+            ch = width
+    return specs
+
+
+MODEL_SPECS: Dict[str, callable] = {
+    "lenet5": lenet5_specs,
+    "vgg16": vgg16_specs,
+    "vgg19": vgg19_specs,
+    "googlenet": googlenet_specs,
+    "densenet": densenet_specs,
+    "resnet18": resnet18_specs,
+}
+
+
+def get_specs(model: str, image_size: int = 32, in_channels: int = 3) -> List[LayerSpec]:
+    if model not in MODEL_SPECS:
+        raise KeyError(f"unknown model {model!r}; available: {sorted(MODEL_SPECS)}")
+    return MODEL_SPECS[model](image_size, in_channels)
+
+
+def fusable_layers(specs: List[LayerSpec]) -> List[LayerSpec]:
+    """The layers MLCNN optimizes (conv directly feeding a pool)."""
+    return [s for s in specs if s.is_fusable]
+
+
+def alexnet_specs(image_size: int = 224, in_channels: int = 3) -> List[LayerSpec]:
+    """AlexNet geometry for the fusable (stride-1 + pool) variant.
+
+    At 224x224 the first layer keeps its 11x11 kernel — the filter size
+    the paper's Table II/III LAR analysis singles out.  Spatial
+    reduction comes from three 2x2 pools (conv1, conv2, conv5), mapping
+    AlexNet's three downsampling points onto fusable conv-pool pairs.
+    """
+    if image_size >= 128:
+        k1 = 11
+    elif image_size >= 64:
+        k1 = 7
+    else:
+        k1 = 5
+    size = image_size
+    specs: List[LayerSpec] = []
+    specs.append(LayerSpec("C1", in_channels, 64, size, k1, padding=k1 // 2, pool=2))
+    size //= 2
+    specs.append(LayerSpec("C2", 64, 192, size, 5, padding=2, pool=2))
+    size //= 2
+    specs.append(LayerSpec("C3", 192, 384, size, 3, padding=1))
+    specs.append(LayerSpec("C4", 384, 256, size, 3, padding=1))
+    specs.append(LayerSpec("C5", 256, 256, size, 3, padding=1, pool=2))
+    return specs
+
+
+MODEL_SPECS["alexnet"] = alexnet_specs

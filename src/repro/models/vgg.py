@@ -1,0 +1,89 @@
+"""VGG-16 / VGG-19 (Simonyan & Zisserman), CIFAR-style heads.
+
+Per the paper (Table I): VGG-16 has "2+2+3+3+3" convolutions, VGG-19
+"2+2+4+4+4"; five pooling layers follow the last convolution of each
+stage, so five convolutional layers are MLCNN-fusable (Section VII.C).
+
+The paper's MLCNN variant replaces max pooling with average pooling
+(Section III.B); ``pooling`` selects the kind.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.models.blocks import ConvBlock, PoolSpec
+from repro.nn.layers import Dropout, Flatten, Linear, Module, ReLU, Sequential
+from repro.nn.tensor import Tensor
+
+#: stage configurations: number of 3x3 convs per stage, base widths
+VGG_CONFIGS = {
+    "vgg16": ([2, 2, 3, 3, 3], [64, 128, 256, 512, 512]),
+    "vgg19": ([2, 2, 4, 4, 4], [64, 128, 256, 512, 512]),
+}
+
+
+class VGG(Module):
+    """VGG backbone built from :class:`ConvBlock` stages."""
+
+    def __init__(
+        self,
+        variant: str = "vgg16",
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        width_mult: float = 1.0,
+        pooling: str = "avg",
+        order: str = "act_pool",
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if variant not in VGG_CONFIGS:
+            raise ValueError(f"unknown VGG variant {variant!r}")
+        depths, widths = VGG_CONFIGS[variant]
+        if image_size % 2 ** len(depths) != 0:
+            raise ValueError(
+                f"image_size {image_size} must be divisible by {2 ** len(depths)}"
+            )
+        self.name = variant
+        rng = rng or np.random.default_rng(0)
+
+        blocks: List[Module] = []
+        ch = in_channels
+        for depth, width in zip(depths, widths):
+            w = max(4, round(width * width_mult))
+            for i in range(depth):
+                last = i == depth - 1
+                blocks.append(
+                    ConvBlock(
+                        ch,
+                        w,
+                        3,
+                        padding=1,
+                        pool=PoolSpec(pooling, 2) if last else None,
+                        order=order,
+                        rng=rng,
+                    )
+                )
+                ch = w
+        self.features = Sequential(*blocks)
+        final_spatial = image_size // 2 ** len(depths)
+        head: List[Module] = [Flatten()]
+        if dropout > 0:
+            head.append(Dropout(dropout, rng=rng))
+        head.append(Linear(ch * final_spatial * final_spatial, num_classes, rng=rng))
+        self.classifier = Sequential(*head)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+def vgg16(**kwargs) -> VGG:
+    return VGG("vgg16", **kwargs)
+
+
+def vgg19(**kwargs) -> VGG:
+    return VGG("vgg19", **kwargs)

@@ -1,0 +1,57 @@
+"""Weight initializers.
+
+Deterministic given an explicit ``numpy.random.Generator`` so training
+experiments are reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _fan(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """(fan_in, fan_out) for linear (out,in) or conv (M,C,kh,kw) weights."""
+    if len(shape) == 2:
+        out_f, in_f = shape
+        return in_f, out_f
+    if len(shape) == 4:
+        m, c, kh, kw = shape
+        rf = kh * kw
+        return c * rf, m * rf
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He initialization (suited to ReLU networks)."""
+    fan_in, _ = _fan(shape)
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    fan_in, _ = _fan(shape)
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot initialization (suited to tanh/sigmoid networks)."""
+    fan_in, fan_out = _fan(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fan(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)

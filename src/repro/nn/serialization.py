@@ -1,0 +1,41 @@
+"""Model checkpointing to ``.npz`` archives.
+
+State dicts are flat ``name -> ndarray`` maps, which NumPy's ``.npz``
+format stores natively; checkpoints carry a format version so future
+layouts can migrate.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+FORMAT_KEY = "__repro_checkpoint_version__"
+FORMAT_VERSION = 1
+
+
+def save_checkpoint(model: Module, path: Union[str, os.PathLike]) -> None:
+    """Write ``model.state_dict()`` to ``path`` (an ``.npz`` archive)."""
+    state = model.state_dict()
+    if FORMAT_KEY in state:
+        raise ValueError(f"state dict may not contain the reserved key {FORMAT_KEY!r}")
+    np.savez(path, **state, **{FORMAT_KEY: np.array(FORMAT_VERSION)})
+
+
+def load_checkpoint(model: Module, path: Union[str, os.PathLike]) -> Module:
+    """Load an ``.npz`` checkpoint into ``model`` (shapes must match)."""
+    with np.load(path) as archive:
+        version = int(archive[FORMAT_KEY]) if FORMAT_KEY in archive else 0
+        if version > FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint version {version} is newer than supported ({FORMAT_VERSION})"
+            )
+        state: Dict[str, np.ndarray] = {
+            k: archive[k] for k in archive.files if k != FORMAT_KEY
+        }
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,5 @@
+"""repro.train — training/evaluation harness used by the accuracy experiments."""
+
+from repro.train.trainer import Trainer, TrainConfig, EpochStats, evaluate
+
+__all__ = ["Trainer", "TrainConfig", "EpochStats", "evaluate"]

@@ -1,0 +1,145 @@
+"""Training loop with top-1/top-5 metrics.
+
+Used by the Fig. 3 / Fig. 4 / Fig. 12 accuracy experiments, which
+retrain the same architecture under different layer orderings (original
+vs reordered vs all-conv), pooling functions, and quantization levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.nn import functional as F
+from repro.nn.layers import Module
+from repro.nn.optim import Adam, LRSchedule, Optimizer, SGD
+from repro.nn.tensor import Tensor, no_grad
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters for :class:`Trainer`."""
+
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 1e-2
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    optimizer: str = "sgd"  # "sgd" | "adam"
+    seed: int = 0
+    #: stop early when validation top-1 has not improved for this many
+    #: epochs (0 disables early stopping)
+    patience: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class EpochStats:
+    epoch: int
+    train_loss: float
+    val_loss: float
+    val_top1: float
+    val_top5: float
+
+
+def evaluate(model: Module, dataset: ArrayDataset, batch_size: int = 128):
+    """Return (loss, top1, top5) of ``model`` on ``dataset``."""
+    model.eval()
+    losses: List[float] = []
+    logits_all: List[np.ndarray] = []
+    labels_all: List[np.ndarray] = []
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    with no_grad():
+        for images, labels in loader:
+            logits = model(Tensor(images))
+            losses.append(F.cross_entropy(logits, labels).item() * len(labels))
+            logits_all.append(logits.data)
+            labels_all.append(labels)
+    logits_np = np.concatenate(logits_all)
+    labels_np = np.concatenate(labels_all)
+    loss = float(np.sum(losses) / len(dataset))
+    top1 = F.accuracy_topk(logits_np, labels_np, k=1)
+    top5 = F.accuracy_topk(logits_np, labels_np, k=min(5, logits_np.shape[-1]))
+    return loss, top1, top5
+
+
+class Trainer:
+    """Fit a model on a dataset; records per-epoch statistics."""
+
+    def __init__(
+        self,
+        model: Module,
+        train_set: ArrayDataset,
+        val_set: ArrayDataset,
+        config: Optional[TrainConfig] = None,
+        schedule_factory: Optional[Callable[[Optimizer], LRSchedule]] = None,
+        transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> None:
+        self.model = model
+        self.train_set = train_set
+        self.val_set = val_set
+        self.transform = transform
+        self.config = config or TrainConfig()
+        cfg = self.config
+        if cfg.optimizer == "sgd":
+            self.optimizer: Optimizer = SGD(
+                model.parameters(),
+                lr=cfg.lr,
+                momentum=cfg.momentum,
+                weight_decay=cfg.weight_decay,
+            )
+        elif cfg.optimizer == "adam":
+            self.optimizer = Adam(model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+        else:
+            raise ValueError(f"unknown optimizer {cfg.optimizer!r}")
+        self.schedule = schedule_factory(self.optimizer) if schedule_factory else None
+        self.history: List[EpochStats] = []
+        self.best_top1 = 0.0
+        self.best_state = None
+
+    def fit(self) -> List[EpochStats]:
+        cfg = self.config
+        loader = DataLoader(
+            self.train_set,
+            batch_size=cfg.batch_size,
+            shuffle=True,
+            seed=cfg.seed,
+            transform=self.transform,
+        )
+        stale = 0
+        for epoch in range(cfg.epochs):
+            self.model.train()
+            total_loss = 0.0
+            total_n = 0
+            for images, labels in loader:
+                logits = self.model(Tensor(images))
+                loss = F.cross_entropy(logits, labels)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                total_loss += loss.item() * len(labels)
+                total_n += len(labels)
+            if self.schedule is not None:
+                self.schedule.step()
+            val_loss, top1, top5 = evaluate(self.model, self.val_set, cfg.batch_size)
+            stats = EpochStats(epoch, total_loss / max(total_n, 1), val_loss, top1, top5)
+            self.history.append(stats)
+            if cfg.verbose:
+                print(
+                    f"epoch {epoch:3d}  train_loss {stats.train_loss:.4f}  "
+                    f"val_loss {val_loss:.4f}  top1 {top1:.3f}  top5 {top5:.3f}"
+                )
+            if top1 > self.best_top1:
+                self.best_top1 = top1
+                self.best_state = self.model.state_dict()
+                stale = 0
+            else:
+                stale += 1
+                if cfg.patience and stale >= cfg.patience:
+                    break
+        if self.best_state is not None:
+            self.model.load_state_dict(self.best_state)
+        return self.history

@@ -1,0 +1,112 @@
+"""Bit-level arithmetic: Wallace multiplier, adders, FP pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.arith import (
+    GateStats,
+    PipelinedFPMultiplier,
+    ripple_carry_add,
+    wallace_multiply_signed,
+    wallace_multiply_unsigned,
+    wallace_stage_bound,
+)
+
+
+class TestRippleCarryAdd:
+    def test_exhaustive_4bit(self):
+        for a in range(16):
+            for b in range(16):
+                s, c = ripple_carry_add(a, b, 4)
+                assert s + (c << 4) == a + b
+
+    def test_stats_counted(self):
+        stats = GateStats()
+        ripple_carry_add(5, 9, 8, stats)
+        assert stats.full_adders == 8
+        assert stats.cpa_bits == 8
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ripple_carry_add(16, 0, 4)
+
+
+class TestWallaceUnsigned:
+    def test_exhaustive_4bit(self):
+        for a in range(16):
+            for b in range(16):
+                p, _ = wallace_multiply_unsigned(a, b, 4)
+                assert p == a * b, (a, b)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_sampled_8bit(self, a, b):
+        p, _ = wallace_multiply_unsigned(a, b, 8)
+        assert p == a * b
+
+    def test_and_gate_count_is_width_squared(self):
+        _, stats = wallace_multiply_unsigned(123, 45, 8)
+        assert stats.and_gates == 64
+
+    def test_reduction_stages_within_bound(self):
+        for width in (4, 8, 16):
+            _, stats = wallace_multiply_unsigned((1 << width) - 1, (1 << width) - 1, width)
+            assert stats.reduction_stages <= wallace_stage_bound(width) + 1
+
+    def test_stage_bound_values(self):
+        # classic Wallace depths: 8-bit -> 4 stages, 16-bit -> 6
+        assert wallace_stage_bound(8) == 4
+        assert wallace_stage_bound(16) == 6
+        assert wallace_stage_bound(2) == 0
+
+    def test_gate_stats_add(self):
+        a = GateStats(1, 2, 3, 4, 5)
+        b = GateStats(10, 20, 30, 2, 50)
+        c = a + b
+        assert c.and_gates == 11 and c.full_adders == 22
+        assert c.reduction_stages == 4  # max, not sum
+
+
+class TestWallaceSigned:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    def test_sampled_signed_8bit(self, a, b):
+        p, _ = wallace_multiply_signed(a, b, 8)
+        assert p == a * b
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            wallace_multiply_signed(128, 1, 8)
+
+    def test_int8_mac_slice_consistency(self):
+        """The INT8 MAC datapath (Wallace multiply + wide accumulate)
+        reproduces the integer fused kernel's products exactly."""
+        rng = np.random.default_rng(0)
+        xs = rng.integers(-127, 128, size=50)
+        ws = rng.integers(-127, 128, size=50)
+        acc_bitlevel = 0
+        for x, w in zip(xs, ws):
+            p, _ = wallace_multiply_signed(int(x), int(w), 8)
+            acc_bitlevel += p
+        assert acc_bitlevel == int(np.sum(xs.astype(np.int64) * ws.astype(np.int64)))
+
+
+class TestPipelinedFPMultiplier:
+    def test_three_cycle_latency(self):
+        pipe = PipelinedFPMultiplier()
+        results = [pipe.tick((2.0, 3.0)), pipe.tick(None), pipe.tick(None), pipe.tick(None)]
+        assert results[:3] == [None, None, None]
+        assert results[3] == 6.0
+
+    def test_full_throughput_one_per_cycle(self):
+        pipe = PipelinedFPMultiplier()
+        out = []
+        pairs = [(float(i), 2.0) for i in range(10)]
+        for p in pairs:
+            r = pipe.tick(p)
+            if r is not None:
+                out.append(r)
+        out.extend(pipe.flush())
+        assert out == [2.0 * i for i in range(10)]
+        assert pipe.issued == pipe.retired == 10

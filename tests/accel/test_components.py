@@ -1,0 +1,159 @@
+"""DRAM timing model, multi-bank buffer, multi-channel RTL layer."""
+
+import numpy as np
+import pytest
+
+from repro.accel.buffers import MultiBankBuffer, conflict_free_stride
+from repro.accel.dram import DramConfig, DramModel
+from repro.accel.rtl import RTLFusedConvPoolLayer
+from repro.core.fusion import fused_conv_pool
+from repro.nn.tensor import Tensor, no_grad
+
+
+class TestDramModel:
+    def test_sequential_stream_mostly_hits(self):
+        dram = DramModel()
+        dram.stream(0, 64 * 1024, chunk=64)
+        assert dram.stats.hit_rate > 0.9
+
+    def test_random_access_mostly_misses(self):
+        dram = DramModel()
+        rng = np.random.default_rng(0)
+        for addr in rng.integers(0, 64 * 1024 * 1024, size=200):
+            dram.access(int(addr) * 4096, 16)
+        assert dram.stats.hit_rate < 0.1
+
+    def test_streaming_faster_than_random(self):
+        seq = DramModel()
+        seq_cycles = seq.stream(0, 16 * 1024, chunk=64)
+        rnd = DramModel()
+        rng = np.random.default_rng(1)
+        rnd_cycles = sum(
+            rnd.access(int(a) * 8192, 64) for a in rng.integers(0, 10_000, size=256)
+        )
+        assert seq_cycles < rnd_cycles
+
+    def test_effective_bandwidth_bounded_by_peak(self):
+        dram = DramModel()
+        dram.stream(0, 1 << 20, chunk=512)
+        assert 0 < dram.effective_bandwidth() <= dram.config.bytes_per_cycle
+
+    def test_multi_row_transfer_pays_activations(self):
+        cfg = DramConfig(row_size_bytes=256)
+        dram = DramModel(cfg)
+        dram.access(0, 1024)  # spans 4 rows
+        assert dram.stats.row_misses == 4
+
+    def test_reset(self):
+        dram = DramModel()
+        dram.access(0, 64)
+        dram.reset()
+        assert dram.stats.accesses == 0
+
+    def test_validation(self):
+        dram = DramModel()
+        with pytest.raises(ValueError):
+            dram.access(0, 0)
+        with pytest.raises(ValueError):
+            dram.access(-1, 8)
+        with pytest.raises(ValueError):
+            DramConfig(row_size_bytes=0)
+
+
+class TestMultiBankBuffer:
+    def test_read_write_roundtrip(self):
+        buf = MultiBankBuffer(4, 16)
+        buf.write(13, 3.5)
+        assert buf.read(13) == 3.5
+
+    def test_interleaving(self):
+        buf = MultiBankBuffer(4, 4)
+        # consecutive addresses land in distinct banks
+        assert buf._locate(0)[0] != buf._locate(1)[0]
+        assert buf._locate(0)[0] == buf._locate(4)[0]
+
+    def test_unit_stride_parallel_reads_conflict_free(self):
+        buf = MultiBankBuffer(8, 32)
+        cycles = buf.cycle(list(range(8)))
+        assert cycles == 1
+        assert buf.stats.conflicts == 0
+
+    def test_same_bank_reads_serialize(self):
+        buf = MultiBankBuffer(8, 32)
+        cycles = buf.cycle([0, 8, 16])  # all bank 0
+        assert cycles == 3
+        assert buf.stats.conflicts == 2
+
+    def test_capacity_and_bounds(self):
+        buf = MultiBankBuffer(2, 4)
+        assert buf.capacity_words == 8
+        with pytest.raises(IndexError):
+            buf.read(8)
+
+    def test_load_array(self):
+        buf = MultiBankBuffer(4, 8)
+        n = buf.load_array([1.0, 2.0, 3.0], base=5)
+        assert n == 3
+        assert buf.read(6) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiBankBuffer(0, 4)
+
+    def test_conflict_free_stride(self):
+        assert conflict_free_stride(8, 8) == 1
+        assert conflict_free_stride(8, 4) == 1
+        with pytest.raises(ValueError):
+            conflict_free_stride(4, 8)
+
+
+class TestRTLFusedConvPoolLayer:
+    @pytest.fixture
+    def rng(self):
+        return np.random.default_rng(9)
+
+    def test_matches_fused_kernel_multichannel(self, rng):
+        x = rng.normal(size=(3, 12, 12))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        rep = RTLFusedConvPoolLayer(w, b).run(x)
+        with no_grad():
+            ref = fused_conv_pool(Tensor(x[None]), Tensor(w), Tensor(b), pool=2).data[0]
+        np.testing.assert_allclose(rep.outputs, ref, atol=1e-9)
+
+    def test_parallel_cycles_scale_with_slices(self, rng):
+        x = rng.normal(size=(4, 10, 10))
+        w = rng.normal(size=(4, 4, 3, 3))
+        serial = RTLFusedConvPoolLayer(w, mac_slices=1).run(x)
+        par = RTLFusedConvPoolLayer(w, mac_slices=16).run(x)
+        assert par.cycles_parallel == pytest.approx(serial.cycles_parallel / 16, rel=0.05)
+        np.testing.assert_allclose(par.outputs, serial.outputs)
+
+    def test_default_zero_bias(self, rng):
+        x = rng.normal(size=(1, 8, 8))
+        w = rng.normal(size=(1, 1, 3, 3))
+        rep = RTLFusedConvPoolLayer(w).run(x)
+        with no_grad():
+            ref = fused_conv_pool(Tensor(x[None]), Tensor(w), None, pool=2).data[0]
+        np.testing.assert_allclose(rep.outputs, ref, atol=1e-10)
+
+    def test_op_counts_scale_with_channels(self, rng):
+        x1 = rng.normal(size=(1, 9, 9))
+        x2 = rng.normal(size=(2, 9, 9))
+        w1 = rng.normal(size=(1, 1, 3, 3))
+        w2 = rng.normal(size=(1, 2, 3, 3))
+        r1 = RTLFusedConvPoolLayer(w1).run(x1)
+        r2 = RTLFusedConvPoolLayer(w2).run(x2)
+        assert r2.multiplications == 2 * r1.multiplications
+        assert r2.half_additions == 2 * r1.half_additions
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            RTLFusedConvPoolLayer(rng.normal(size=(2, 2, 3, 4)))
+        with pytest.raises(ValueError):
+            RTLFusedConvPoolLayer(rng.normal(size=(2, 2, 3, 3)), mac_slices=0)
+        with pytest.raises(ValueError):
+            RTLFusedConvPoolLayer(rng.normal(size=(2, 2, 3, 3)), bias=np.zeros(3))
+        layer = RTLFusedConvPoolLayer(rng.normal(size=(2, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            layer.run(rng.normal(size=(3, 8, 8)))  # channel mismatch

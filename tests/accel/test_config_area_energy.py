@@ -1,0 +1,118 @@
+"""Accelerator configs (Table VII), area and energy models."""
+
+import numpy as np
+import pytest
+
+from repro.accel.area import AREA_45NM, config_area_mm2, slices_for_budget
+from repro.accel.config import AcceleratorConfig, TABLE7_CONFIGS, get_config
+from repro.accel.energy import (
+    ENERGY_45NM,
+    EnergyBreakdown,
+    dynamic_energy,
+    static_energy,
+)
+
+
+class TestTable7Configs:
+    def test_all_four_present(self):
+        assert set(TABLE7_CONFIGS) == {"dcnn-fp32", "mlcnn-fp32", "mlcnn-fp16", "mlcnn-int8"}
+
+    def test_slice_counts_match_paper(self):
+        assert get_config("dcnn-fp32").mac_slices == 32
+        assert get_config("mlcnn-fp32").mac_slices == 32
+        assert get_config("mlcnn-fp16").mac_slices == 64
+        assert get_config("mlcnn-int8").mac_slices == 128
+
+    def test_bitwidths(self):
+        assert get_config("mlcnn-fp16").bitwidth == 16
+        assert get_config("mlcnn-int8").bytes_per_element == 1.0
+
+    def test_same_area_and_memory_budget(self):
+        areas = {c.area_mm2 for c in TABLE7_CONFIGS.values()}
+        mems = {c.onchip_memory_kb for c in TABLE7_CONFIGS.values()}
+        assert areas == {1.52}
+        assert mems == {134}
+
+    def test_dcnn_is_unfused(self):
+        assert not get_config("dcnn-fp32").fused
+        assert all(get_config(n).fused for n in ("mlcnn-fp32", "mlcnn-fp16", "mlcnn-int8"))
+
+    def test_fused_configs_get_ar_units(self):
+        cfg = get_config("mlcnn-fp32")
+        assert cfg.ar_units == cfg.mac_slices // 2
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(KeyError):
+            get_config("tpu")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig("bad", mac_slices=0, bitwidth=32, fused=False)
+        with pytest.raises(ValueError):
+            AcceleratorConfig("bad", mac_slices=4, bitwidth=12, fused=False)
+
+    def test_precision_labels(self):
+        assert get_config("mlcnn-int8").precision_label == "INT8"
+        assert get_config("dcnn-fp32").precision_label == "FP32"
+
+
+class TestAreaModel:
+    def test_paper_slice_counts_fit_budget(self):
+        """Table VII's 32/64/128 slices all fit 1.52 mm^2."""
+        assert slices_for_budget(32) >= 32
+        assert slices_for_budget(16) >= 64
+        assert slices_for_budget(8) >= 128
+
+    def test_lower_precision_packs_more(self):
+        assert slices_for_budget(8) > slices_for_budget(16) > slices_for_budget(32)
+
+    def test_config_areas_within_budget(self):
+        for cfg in TABLE7_CONFIGS.values():
+            assert config_area_mm2(cfg.mac_slices, cfg.bitwidth) <= 1.52 + 1e-9
+
+    def test_area_scales_with_slices(self):
+        assert config_area_mm2(64, 32) == pytest.approx(2 * config_area_mm2(32, 32))
+
+    def test_unknown_bitwidth_raises(self):
+        with pytest.raises(ValueError):
+            slices_for_budget(4)
+
+    def test_multiplier_dominates_slice_area(self):
+        for a in AREA_45NM.values():
+            assert a.multiplier_mm2 > a.adder_mm2
+
+
+class TestEnergyModel:
+    def test_lower_precision_cheaper_ops(self):
+        assert ENERGY_45NM[32].mult_pj > ENERGY_45NM[16].mult_pj > ENERGY_45NM[8].mult_pj
+        assert ENERGY_45NM[32].add_pj > ENERGY_45NM[8].add_pj
+
+    def test_dram_much_more_expensive_than_buffer(self):
+        for t in ENERGY_45NM.values():
+            # pJ per 4-byte word vs one buffer access
+            assert 4 * t.dram_pj_per_byte > 10 * t.buffer_access_pj
+
+    def test_dynamic_energy_linear_in_counts(self):
+        t = ENERGY_45NM[32]
+        e1 = dynamic_energy(t, 100, 100, 100, 100.0)
+        e2 = dynamic_energy(t, 200, 200, 200, 200.0)
+        assert e2.total_j == pytest.approx(2 * e1.total_j)
+
+    def test_breakdown_sums(self):
+        e = EnergyBreakdown(dram_j=1.0, buffer_j=2.0, mac_j=3.0, static_j=4.0)
+        assert e.total_j == 10.0
+        d = e.as_dict()
+        assert d["total"] == 10.0 and d["dram"] == 1.0
+
+    def test_breakdown_addition(self):
+        a = EnergyBreakdown(1, 1, 1, 1)
+        b = EnergyBreakdown(2, 2, 2, 2)
+        assert (a + b).total_j == 12.0
+
+    def test_static_energy_proportional_to_time(self):
+        t = ENERGY_45NM[32]
+        assert static_energy(t, 2.0) == pytest.approx(2 * static_energy(t, 1.0))
+
+    def test_mult_more_expensive_than_add(self):
+        for t in ENERGY_45NM.values():
+            assert t.mult_pj > t.add_pj

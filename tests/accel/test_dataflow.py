@@ -1,0 +1,116 @@
+"""Weight-input-reuse dataflow schedule (Fig. 8)."""
+
+import pytest
+
+from repro.accel.dataflow import (
+    ScheduleStep,
+    timeline,
+    validate_schedule,
+    weight_input_reuse_schedule,
+)
+from repro.accel.tiling import TilingPlan, plan_tiling
+from repro.models.specs import LayerSpec
+
+
+@pytest.fixture
+def spec():
+    return LayerSpec("c", in_channels=16, out_channels=32, input_size=16, kernel=3, padding=1, pool=2)
+
+
+@pytest.fixture
+def plan(spec):
+    return plan_tiling(spec, 32 * 1024, 4.0)
+
+
+class TestSchedule:
+    def test_schedule_valid(self, spec, plan):
+        steps = weight_input_reuse_schedule(spec, plan)
+        validate_schedule(steps, plan.trips(spec))  # must not raise
+
+    def test_counts(self, spec, plan):
+        steps = weight_input_reuse_schedule(spec, plan)
+        tm, tn, tr, tc = plan.trips(spec)
+        kinds = {}
+        for s in steps:
+            kinds[s.kind] = kinds.get(s.kind, 0) + 1
+        assert kinds["compute"] == tm * tn * tr * tc
+        assert kinds["load_weights"] == tm * tn * tr * tc
+        assert kinds["store_output"] == tm * tr * tc
+
+    def test_weight_loaded_before_compute(self, spec, plan):
+        steps = weight_input_reuse_schedule(spec, plan)
+        loaded = None
+        for s in steps:
+            if s.kind == "load_weights":
+                loaded = (s.m, s.n)
+            if s.kind == "compute":
+                assert loaded == (s.m, s.n)
+
+    def test_input_channel_tiles_consecutive(self, spec, plan):
+        """All n-tiles of one (m, r, c) output tile run back to back
+        before its store — partial sums never leave the chip."""
+        steps = weight_input_reuse_schedule(spec, plan)
+        open_tile = None
+        for s in steps:
+            if s.kind == "compute":
+                key = (s.m, s.r, s.c)
+                if open_tile is None:
+                    open_tile = key
+                else:
+                    assert key == open_tile
+            if s.kind == "store_output":
+                assert (s.m, s.r, s.c) == open_tile
+                open_tile = None
+
+    def test_validator_catches_missing_load(self, spec, plan):
+        steps = weight_input_reuse_schedule(spec, plan)
+        broken = [s for s in steps if s.kind != "load_weights"]
+        with pytest.raises(ValueError):
+            validate_schedule(broken, plan.trips(spec))
+
+    def test_validator_catches_double_store(self, spec, plan):
+        steps = list(weight_input_reuse_schedule(spec, plan))
+        first_store = next(s for s in steps if s.kind == "store_output")
+        steps.append(first_store)
+        with pytest.raises(ValueError):
+            validate_schedule(steps, plan.trips(spec))
+
+    def test_validator_catches_missing_store(self, spec, plan):
+        steps = [s for s in weight_input_reuse_schedule(spec, plan) if s.kind != "store_output"]
+        with pytest.raises(ValueError):
+            validate_schedule(steps, plan.trips(spec))
+
+
+class TestTimeline:
+    def test_makespan_is_max_of_streams_plus_fill(self, spec, plan):
+        steps = weight_input_reuse_schedule(spec, plan)
+        t = timeline(steps)
+        first_load = next(s.cost for s in steps if s.kind.startswith("load"))
+        assert t.makespan == pytest.approx(
+            max(t.load_cycles + t.store_cycles, t.compute_cycles) + first_load
+        )
+
+    def test_more_slices_shift_towards_memory_bound(self, spec, plan):
+        few = timeline(weight_input_reuse_schedule(spec, plan, mac_slices=1))
+        many = timeline(weight_input_reuse_schedule(spec, plan, mac_slices=1024))
+        assert few.compute_bound
+        assert not many.compute_bound
+        assert many.makespan < few.makespan
+
+    def test_timeline_consistent_with_simulator_scale(self, spec):
+        """Schedule makespan is within 2x of the roofline simulator's
+        cycle estimate for the same layer (same modelling family)."""
+        from repro.accel.config import get_config
+        from repro.accel.simulator import simulate_layer
+
+        cfg = get_config("dcnn-fp32")
+        plan = plan_tiling(spec, cfg.onchip_memory_kb * 1024, cfg.bytes_per_element)
+        steps = weight_input_reuse_schedule(
+            spec, plan,
+            bytes_per_element=cfg.bytes_per_element,
+            dram_bytes_per_cycle=cfg.dram_bytes_per_cycle,
+            mac_slices=cfg.mac_slices,
+        )
+        t = timeline(steps)
+        sim = simulate_layer(spec, cfg)
+        assert 0.5 <= t.makespan / sim.cycles <= 2.0

@@ -1,0 +1,91 @@
+"""Loop tiling and DRAM traffic model."""
+
+import numpy as np
+import pytest
+
+from repro.accel.tiling import TilingPlan, dram_traffic, plan_tiling
+from repro.models.specs import LayerSpec
+
+
+@pytest.fixture
+def spec():
+    return LayerSpec("c", in_channels=16, out_channels=32, input_size=32, kernel=3, padding=1, pool=2)
+
+
+class TestTilingPlan:
+    def test_trips(self, spec):
+        plan = TilingPlan(16, 8, 16, 16)
+        assert plan.trips(spec) == (2, 2, 2, 2)
+
+    def test_trips_ceil(self, spec):
+        plan = TilingPlan(20, 16, 32, 32)
+        assert plan.trips(spec) == (2, 1, 1, 1)
+
+    def test_buffer_elements_counts_halo(self, spec):
+        plan = TilingPlan(1, 1, 4, 4)
+        # input tile includes the K-1 halo: (4+2)^2
+        assert plan.buffer_elements(spec) == 36 + 9 + 16
+
+
+class TestPlanTiling:
+    def test_plan_fits_buffer(self, spec):
+        for kb in (8, 32, 134):
+            plan = plan_tiling(spec, kb * 1024, 4.0)
+            assert plan.buffer_elements(spec) * 4.0 <= kb * 1024
+
+    def test_bigger_buffer_never_more_traffic(self, spec):
+        t_small = dram_traffic(spec, plan_tiling(spec, 8 * 1024, 4.0), 4.0)
+        t_large = dram_traffic(spec, plan_tiling(spec, 134 * 1024, 4.0), 4.0)
+        assert t_large <= t_small
+
+    def test_whole_layer_traffic_when_buffer_huge(self, spec):
+        """With an unbounded buffer the chosen plan achieves compulsory
+        traffic: each input/weight/output byte moves once.  (Tile sizes
+        may differ — reloading a 1-channel tile N times costs the same
+        as loading N channels once.)"""
+        plan = plan_tiling(spec, 100 * 1024 * 1024, 4.0)
+        whole = TilingPlan(spec.out_channels, spec.in_channels, 32, 32)
+        assert dram_traffic(spec, plan, 4.0) == pytest.approx(dram_traffic(spec, whole, 4.0))
+
+    def test_absurdly_small_buffer_raises(self, spec):
+        with pytest.raises(ValueError):
+            plan_tiling(spec, 16, 4.0)  # 4 elements cannot hold a unit tile
+
+
+class TestDramTraffic:
+    def test_minimum_is_compulsory_traffic(self, spec):
+        """With whole-layer tiles, traffic = input + weights + output."""
+        plan = TilingPlan(spec.out_channels, spec.in_channels, 32, 32)
+        got = dram_traffic(spec, plan, 4.0)
+        inp = spec.in_channels * 34 * 34  # padded halo counted once
+        w = spec.out_channels * spec.in_channels * 9
+        out = spec.out_channels * spec.output_size ** 2
+        assert got == pytest.approx((inp + w + out) * 4.0)
+
+    def test_bytes_per_element_scales(self, spec):
+        plan = TilingPlan(8, 8, 8, 8)
+        assert dram_traffic(spec, plan, 1.0) == pytest.approx(dram_traffic(spec, plan, 4.0) / 4)
+
+    def test_preprocessed_input_halves_input_bytes(self, spec):
+        plan = TilingPlan(8, 8, 8, 8)
+        full = dram_traffic(spec, plan, 4.0)
+        pre = dram_traffic(spec, plan, 4.0, input_preprocessed=True)
+        assert pre < full
+        out_bytes = spec.output_size ** 2 * spec.out_channels * 4.0
+        # exactly the input share is halved
+        tm, tn, tr, tc = plan.trips(spec)
+        in_tile = 8 * (8 + 2) * (8 + 2)
+        in_bytes = tm * tn * tr * tc * in_tile * 4.0
+        assert full - pre == pytest.approx(in_bytes / 2)
+
+    def test_preprocessed_output_halves_output_bytes(self, spec):
+        plan = TilingPlan(8, 8, 8, 8)
+        full = dram_traffic(spec, plan, 4.0)
+        pre = dram_traffic(spec, plan, 4.0, output_preprocessed=True)
+        out_bytes = spec.output_size ** 2 * spec.out_channels * 4.0
+        assert full - pre == pytest.approx(out_bytes / 2)
+
+    def test_smaller_tm_increases_input_reloads(self, spec):
+        t_full = dram_traffic(spec, TilingPlan(32, 16, 32, 32), 4.0)
+        t_split = dram_traffic(spec, TilingPlan(16, 16, 32, 32), 4.0)
+        assert t_split > t_full

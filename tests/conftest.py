@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticImageConfig, make_synth_cifar, train_val_split
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A small 4-class dataset usable for fast training tests."""
+    cfg = SyntheticImageConfig(
+        num_classes=4, samples_per_class=16, image_size=16, max_shift=2, seed=7
+    )
+    return make_synth_cifar(cfg)
+
+
+@pytest.fixture
+def tiny_split(tiny_dataset):
+    return train_val_split(tiny_dataset, val_fraction=0.25, seed=7)
+
+
+def numeric_gradient(f, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` w.r.t. ``array``.
+
+    ``f`` must read ``array`` afresh on each call (the helper mutates it
+    in place and restores it).
+    """
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    gflat = grad.ravel()
+    for i in range(array.size):
+        old = flat[i]
+        flat[i] = old + eps
+        fp = f()
+        flat[i] = old - eps
+        fm = f()
+        flat[i] = old
+        gflat[i] = (fp - fm) / (2.0 * eps)
+    return grad

@@ -1,0 +1,126 @@
+"""Integer (fixed-point) fused kernel: INT8 datapath numerics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fixedpoint import (
+    QuantizedTensor,
+    fused_conv_pool_int,
+    int_path_error_bound,
+    quantization_error_bound,
+    quantize_tensor,
+)
+from repro.core.fusion import fused_conv_pool
+from repro.nn.tensor import Tensor, no_grad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(41)
+
+
+class TestQuantizeTensor:
+    def test_roundtrip_error_bounded(self, rng):
+        x = rng.normal(size=(4, 8, 8))
+        qt = quantize_tensor(x, bits=8)
+        err = np.abs(qt.dequantize() - x).max()
+        assert err <= quantization_error_bound(qt) + 1e-12
+
+    def test_values_in_range(self, rng):
+        qt = quantize_tensor(rng.normal(size=100) * 50, bits=8)
+        assert np.abs(qt.values).max() <= 127
+
+    def test_dtype_by_bits(self, rng):
+        x = rng.normal(size=10)
+        assert quantize_tensor(x, 8).values.dtype == np.int8
+        assert quantize_tensor(x, 16).values.dtype == np.int16
+
+    def test_zero_tensor(self):
+        qt = quantize_tensor(np.zeros(5), bits=8)
+        assert (qt.values == 0).all()
+        assert qt.scale == 1.0
+
+    def test_more_bits_less_error(self, rng):
+        x = rng.normal(size=1000)
+        e8 = np.abs(quantize_tensor(x, 8).dequantize() - x).max()
+        e16 = np.abs(quantize_tensor(x, 16).dequantize() - x).max()
+        assert e16 < e8
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            QuantizedTensor(np.array([200], dtype=np.int16), 1.0, 8)
+        with pytest.raises(ValueError):
+            QuantizedTensor(np.array([1], dtype=np.int8), -1.0, 8)
+        with pytest.raises(ValueError):
+            QuantizedTensor(np.array([1], dtype=np.int8), 1.0, 1)
+
+
+class TestIntFusedKernel:
+    def _float_ref(self, x, w, b, pool=2):
+        with no_grad():
+            return fused_conv_pool(
+                Tensor(x[None]), Tensor(w), Tensor(b) if b is not None else None, pool=pool
+            ).data[0]
+
+    def test_tracks_float_path_within_bound(self, rng):
+        x = rng.normal(size=(3, 12, 12))
+        w = rng.normal(size=(4, 3, 3, 3)) * 0.5
+        b = rng.normal(size=4) * 0.1
+        qx, qw = quantize_tensor(x, 8), quantize_tensor(w, 8)
+        got = fused_conv_pool_int(qx, qw, b)
+        ref = self._float_ref(x, w, b)
+        bound = int_path_error_bound(qx, qw)
+        assert np.abs(got - ref).max() <= bound
+
+    def test_exact_when_inputs_are_grid_points(self, rng):
+        """Integers scaled by the quantization step reproduce exactly —
+        the integer path is exact arithmetic."""
+        xi = rng.integers(-127, 128, size=(2, 10, 10))
+        wi = rng.integers(-127, 128, size=(3, 2, 3, 3))
+        qx = QuantizedTensor(xi.astype(np.int8), 0.01, 8)
+        qw = QuantizedTensor(wi.astype(np.int8), 0.02, 8)
+        got = fused_conv_pool_int(qx, qw, None)
+        ref = self._float_ref(qx.dequantize(), qw.dequantize(), None)
+        np.testing.assert_allclose(got, ref, atol=1e-9)
+
+    def test_16_bit_closer_than_8_bit(self, rng):
+        x = rng.normal(size=(2, 12, 12))
+        w = rng.normal(size=(2, 2, 3, 3))
+        ref = self._float_ref(x, w, None)
+        e8 = np.abs(fused_conv_pool_int(quantize_tensor(x, 8), quantize_tensor(w, 8)) - ref).max()
+        e16 = np.abs(fused_conv_pool_int(quantize_tensor(x, 16), quantize_tensor(w, 16)) - ref).max()
+        assert e16 < e8
+
+    def test_relu_optional(self, rng):
+        x = rng.normal(size=(1, 8, 8))
+        w = rng.normal(size=(1, 1, 3, 3))
+        raw = fused_conv_pool_int(quantize_tensor(x), quantize_tensor(w), apply_relu=False)
+        act = fused_conv_pool_int(quantize_tensor(x), quantize_tensor(w), apply_relu=True)
+        np.testing.assert_allclose(act, np.maximum(raw, 0.0))
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            fused_conv_pool_int(
+                quantize_tensor(rng.normal(size=(2, 8, 8))),
+                quantize_tensor(rng.normal(size=(1, 3, 3, 3))),
+            )
+
+    def test_too_small_input_raises(self, rng):
+        with pytest.raises(ValueError):
+            fused_conv_pool_int(
+                quantize_tensor(rng.normal(size=(1, 3, 3))),
+                quantize_tensor(rng.normal(size=(1, 1, 3, 3))),
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2 ** 16), st.integers(1, 3), st.integers(1, 3), st.sampled_from([2, 3]))
+    def test_property_bound_holds(self, seed, cin, cout, k):
+        g = np.random.default_rng(seed)
+        h = k + 5
+        x = g.normal(size=(cin, h, h))
+        w = g.normal(size=(cout, cin, k, k))
+        qx, qw = quantize_tensor(x, 8), quantize_tensor(w, 8)
+        got = fused_conv_pool_int(qx, qw, None, pool=2)
+        ref = self._float_ref(x, w, None, pool=2)
+        assert np.abs(got - ref).max() <= int_path_error_bound(qx, qw, pool=2)

@@ -1,0 +1,124 @@
+"""Network fusion transform: semantics preservation across the zoo."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import FusedConvPool
+from repro.core.transform import fuse_network, fused_blocks
+from repro.models import build_model, reorder_activation_pooling, set_pooling
+from repro.nn.tensor import Tensor, no_grad
+
+SMALL = {"lenet5": 1.0, "vgg16": 0.125, "vgg19": 0.125, "densenet": 0.5, "resnet18": 0.125}
+
+
+@pytest.fixture
+def x32():
+    return Tensor(np.random.default_rng(8).normal(size=(2, 3, 32, 32)))
+
+
+class TestFuseNetwork:
+    @pytest.mark.parametrize("name", sorted(SMALL))
+    def test_fusion_preserves_outputs(self, name, x32):
+        model = build_model(name, width_mult=SMALL[name], seed=2)
+        reorder_activation_pooling(model)
+        with no_grad():
+            before = model(x32).data
+        fuse_network(model)
+        with no_grad():
+            after = model(x32).data
+        np.testing.assert_allclose(before, after, atol=1e-9)
+
+    def test_expected_fusion_counts(self, x32):
+        """LeNet-5 fuses 2 blocks, VGG-16 fuses 5, DenseNet fuses 3."""
+        for name, expected in [("lenet5", 2), ("vgg16", 5), ("densenet", 3)]:
+            model = build_model(name, width_mult=SMALL[name])
+            reorder_activation_pooling(model)
+            _, replaced = fuse_network(model)
+            assert len(replaced) == expected, name
+
+    def test_fused_blocks_discoverable(self):
+        model = build_model("lenet5")
+        reorder_activation_pooling(model)
+        fuse_network(model)
+        assert len(fused_blocks(model)) == 2
+        assert all(isinstance(b, FusedConvPool) for b in fused_blocks(model))
+
+    def test_unreordered_model_raises(self):
+        model = build_model("vgg16", width_mult=0.125)  # still ReLU+AP
+        with pytest.raises(ValueError):
+            fuse_network(model)
+
+    def test_max_pooled_model_raises(self):
+        model = build_model("vgg16", width_mult=0.125, pooling="max", order="pool_act")
+        with pytest.raises(ValueError):
+            fuse_network(model)
+
+    def test_parameters_shared_after_fusion(self):
+        model = build_model("lenet5")
+        reorder_activation_pooling(model)
+        _, replaced = fuse_network(model)
+        for _, fused in replaced:
+            assert fused.weight is fused.source.conv.weight
+
+    def test_fused_model_remains_trainable(self, x32, tiny_split):
+        from repro.train import TrainConfig, Trainer
+
+        train_set, val_set = tiny_split
+        model = build_model("lenet5", num_classes=4, image_size=16)
+        reorder_activation_pooling(model)
+        fuse_network(model)
+        trainer = Trainer(model, train_set, val_set, TrainConfig(epochs=5, batch_size=16, lr=0.01))
+        before = [p.data.copy() for p in model.parameters()]
+        hist = trainer.fit()
+        assert min(h.train_loss for h in hist) < hist[0].train_loss
+        assert any(
+            not np.allclose(b, p.data) for b, p in zip(before, model.parameters())
+        )
+
+    def test_fusion_after_set_pooling(self, x32):
+        """max-pool model becomes fusable after set_pooling + reorder —
+        the paper's preparation pipeline."""
+        model = build_model("vgg16", width_mult=0.125, pooling="max")
+        set_pooling(model, "avg")
+        reorder_activation_pooling(model)
+        _, replaced = fuse_network(model)
+        assert len(replaced) == 5
+
+    def test_double_fusion_raises(self):
+        model = build_model("lenet5")
+        reorder_activation_pooling(model)
+        fuse_network(model)
+        with pytest.raises(ValueError):
+            fuse_network(model)  # nothing left to fuse
+
+
+class TestPrepareMLCNN:
+    def test_pipeline_from_maxpool_model(self, x32):
+        from repro.core.transform import fused_blocks, prepare_mlcnn
+
+        model = build_model("vgg16", width_mult=0.125, pooling="max")
+        prepare_mlcnn(model)
+        assert len(fused_blocks(model)) == 5
+        with no_grad():
+            out = model(x32)
+        assert out.shape == (2, 10)
+
+    def test_pipeline_with_quantization(self, x32):
+        from repro.core.quantize import QuantizedConvBlock
+        from repro.core.transform import prepare_mlcnn
+
+        model = build_model("lenet5")
+        prepare_mlcnn(model, quantize_bits=8)
+        qblocks = [m for _, m in model.named_modules() if isinstance(m, QuantizedConvBlock)]
+        assert qblocks  # the non-fused conv got wrapped
+        with no_grad():
+            out = model(x32)
+        assert np.isfinite(out.data).all()
+
+    def test_idempotent_failure_is_loud(self):
+        from repro.core.transform import prepare_mlcnn
+
+        model = build_model("lenet5")
+        prepare_mlcnn(model)
+        with pytest.raises(ValueError):
+            prepare_mlcnn(model)  # nothing left to fuse

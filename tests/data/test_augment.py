@@ -1,0 +1,140 @@
+"""Augmentation transforms and DataLoader integration."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    Augmentation,
+    DataLoader,
+    cutout,
+    random_crop,
+    random_horizontal_flip,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(13)
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.normal(size=(8, 3, 16, 16))
+
+
+class TestFlip:
+    def test_p_zero_identity(self, batch, rng):
+        np.testing.assert_array_equal(random_horizontal_flip(batch, rng, p=0.0), batch)
+
+    def test_p_one_flips_all(self, batch, rng):
+        out = random_horizontal_flip(batch, rng, p=1.0)
+        np.testing.assert_array_equal(out, batch[:, :, :, ::-1])
+
+    def test_double_flip_is_identity(self, batch, rng):
+        once = random_horizontal_flip(batch, np.random.default_rng(1), p=1.0)
+        twice = random_horizontal_flip(once, np.random.default_rng(2), p=1.0)
+        np.testing.assert_array_equal(twice, batch)
+
+    def test_does_not_mutate_input(self, batch, rng):
+        before = batch.copy()
+        random_horizontal_flip(batch, rng, p=1.0)
+        np.testing.assert_array_equal(batch, before)
+
+    def test_invalid_p(self, batch, rng):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(batch, rng, p=1.5)
+
+
+class TestCrop:
+    def test_shape_preserved(self, batch, rng):
+        assert random_crop(batch, rng, padding=3).shape == batch.shape
+
+    def test_each_output_is_a_window_of_the_padded_input(self, batch):
+        """Every cropped image must appear verbatim somewhere in the
+        reflect-padded original."""
+        pad = 2
+        out = random_crop(batch, np.random.default_rng(3), padding=pad)
+        padded = np.pad(batch, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="reflect")
+        h = batch.shape[2]
+        for i in range(len(batch)):
+            found = any(
+                np.array_equal(out[i], padded[i, :, y : y + h, x : x + h])
+                for y in range(2 * pad + 1)
+                for x in range(2 * pad + 1)
+            )
+            assert found, f"crop {i} is not a window of its padded source"
+
+    def test_invalid_padding(self, batch, rng):
+        with pytest.raises(ValueError):
+            random_crop(batch, rng, padding=0)
+
+    def test_randomness_varies(self, batch):
+        a = random_crop(batch, np.random.default_rng(1), padding=4)
+        b = random_crop(batch, np.random.default_rng(2), padding=4)
+        assert not np.array_equal(a, b)
+
+
+class TestCutout:
+    def test_zeroes_exactly_one_square(self, rng):
+        x = np.ones((4, 2, 10, 10))
+        out = cutout(x, rng, size=4)
+        for img in out:
+            assert (img == 0).sum() == 2 * 16
+
+    def test_invalid_size(self, batch, rng):
+        with pytest.raises(ValueError):
+            cutout(batch, rng, size=17)
+        with pytest.raises(ValueError):
+            cutout(batch, rng, size=0)
+
+
+class TestAugmentation:
+    def test_compose_shape(self, batch):
+        aug = Augmentation(flip=True, crop_padding=2, cutout_size=4, seed=0)
+        assert aug(batch).shape == batch.shape
+
+    def test_reproducible_given_seed(self, batch):
+        a = Augmentation(crop_padding=3, seed=5)(batch)
+        b = Augmentation(crop_padding=3, seed=5)(batch)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_non_batch(self, rng):
+        with pytest.raises(ValueError):
+            Augmentation()(rng.normal(size=(3, 16, 16)))
+
+    def test_dataloader_integration(self, rng):
+        ds = ArrayDataset(rng.normal(size=(20, 3, 16, 16)), rng.integers(0, 3, 20))
+        aug = Augmentation(flip=True, crop_padding=2, seed=0)
+        loader = DataLoader(ds, batch_size=10, shuffle=False, transform=aug)
+        plain = DataLoader(ds, batch_size=10, shuffle=False)
+        (aug_imgs, _), (raw_imgs, _) = next(iter(loader)), next(iter(plain))
+        assert aug_imgs.shape == raw_imgs.shape
+        assert not np.array_equal(aug_imgs, raw_imgs)
+
+    def test_training_with_augmentation_still_learns(self, tiny_split):
+        from repro.nn import AvgPool2d, Conv2d, Flatten, Linear, ReLU, Sequential
+        from repro.nn import functional as F
+        from repro.nn.optim import SGD
+        from repro.nn.tensor import Tensor
+
+        train_set, _ = tiny_split
+        model = Sequential(
+            Conv2d(3, 8, 3, padding=1, rng=np.random.default_rng(0)),
+            ReLU(),
+            AvgPool2d(4),
+            Flatten(),
+            Linear(8 * 4 * 4, 4, rng=np.random.default_rng(0)),
+        )
+        opt = SGD(model.parameters(), lr=0.05)
+        aug = Augmentation(flip=True, crop_padding=1, seed=0)
+        loader = DataLoader(train_set, batch_size=16, seed=0, transform=aug)
+        losses = []
+        for _ in range(6):
+            for images, labels in loader:
+                loss = F.cross_entropy(model(Tensor(images)), labels)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+                losses.append(loss.item())
+        assert np.mean(losses[-3:]) < np.mean(losses[:3])

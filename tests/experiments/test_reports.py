@@ -1,0 +1,113 @@
+"""Experiment report structure: rows, paper constants, cross-checks."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablation_reuse,
+    equation_limits,
+    extension_pruning,
+    extension_resnet18,
+    fig14_flops_reduction,
+    related_fused_layer,
+    table1_models,
+    table2_lar_filter,
+    table3_lar_stride,
+    table4_gar_filter,
+    table5_gar_stride,
+    table6_gar_inputdim,
+    table7_configs,
+)
+from repro.experiments.analytic import (
+    TABLE2_PAPER,
+    TABLE3_PAPER,
+    TABLE4_PAPER,
+    TABLE5_PAPER,
+    TABLE6_PAPER,
+)
+
+
+class TestAnalyticReports:
+    def test_table2_full_agreement(self):
+        rep = table2_lar_filter()
+        assert len(rep.rows) == len(TABLE2_PAPER)
+        for row in rep.rows:
+            assert row[1] == row[4]  # ours == paper (w/o)
+            assert row[2] == row[5]  # ours == paper (w/)
+
+    def test_table3_full_agreement(self):
+        rep = table3_lar_stride()
+        for row in rep.rows:
+            if row[4] != "-":
+                assert row[2] == row[4]
+
+    def test_table4_full_agreement(self):
+        rep = table4_gar_filter()
+        for row in rep.rows:
+            assert row[1] == row[4] and row[2] == row[5]
+
+    def test_table5_full_agreement(self):
+        rep = table5_gar_stride()
+        for row in rep.rows:
+            assert row[1] == row[4] and row[2] == row[5]
+
+    def test_table6_full_agreement(self):
+        rep = table6_gar_inputdim()
+        for row in rep.rows:
+            assert row[1] == row[4] and row[2] == row[5]
+
+    def test_equation_limits_rows(self):
+        rep = equation_limits()
+        assert len(rep.rows) == 5
+
+    def test_table1_has_all_models(self):
+        rep = table1_models()
+        assert {r[0] for r in rep.rows} == {"lenet5", "vgg16", "vgg19", "googlenet"}
+
+
+class TestAcceleratorReports:
+    def test_table7_four_configs(self):
+        rep = table7_configs()
+        assert len(rep.rows) == 4
+
+    def test_fig14_covers_all_fusable_layers(self):
+        from repro.models import specs
+
+        rep = fig14_flops_reduction()
+        expected = sum(
+            len(specs.fusable_layers(specs.get_specs(m)))
+            for m in ("densenet", "vgg16", "googlenet", "lenet5")
+        )
+        assert len(rep.rows) == expected  # 2 + 5 + 12 + 3 = 22
+
+    def test_ablation_monotone_columns(self):
+        rep = ablation_reuse()
+
+        def pct(cell):
+            return float(cell.rstrip("%"))
+
+        for row in rep.rows:
+            rme, lar, gar, both = map(pct, row[2:6])
+            assert rme <= lar + 1e-9
+            assert rme <= gar + 1e-9
+            assert max(lar, gar) <= both + 1e-9
+
+    def test_resnet18_extension_rows(self):
+        rep = extension_resnet18()
+        assert rep.rows[-1][0] == "WHOLE NET"
+        assert len(rep.rows) == 18  # 17 layers + total
+
+    def test_pruning_extension_composition(self):
+        rep = extension_pruning(sparsities=(0.5,))
+
+        def pct(cell):
+            return float(cell.rstrip("%"))
+
+        for row in rep.rows:
+            assert pct(row[4]) > pct(row[2])  # combined beats MLCNN alone
+
+    def test_related_work_report(self):
+        rep = related_fused_layer()
+        assert len(rep.rows) == 4
+        for row in rep.rows:
+            assert float(row[4].rstrip("x")) > float(row[1].rstrip("x"))

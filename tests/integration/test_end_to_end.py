@@ -1,0 +1,159 @@
+"""End-to-end pipelines: the full MLCNN workflow on small workloads."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    QuantConfig,
+    build_model,
+    compare_networks,
+    fuse_network,
+    get_config,
+    quantize_model,
+    reorder_activation_pooling,
+    simulate_network,
+)
+from repro.data import SyntheticImageConfig, make_synth_cifar, train_val_split
+from repro.models import specs
+from repro.nn.tensor import Tensor, no_grad
+from repro.train import TrainConfig, Trainer, evaluate
+
+
+@pytest.fixture(scope="module")
+def workload():
+    ds = make_synth_cifar(
+        SyntheticImageConfig(num_classes=4, samples_per_class=24, image_size=16, seed=42)
+    )
+    return train_val_split(ds, 0.25, seed=42)
+
+
+def train(model, workload, epochs=8, lr=0.03):
+    train_set, val_set = workload
+    trainer = Trainer(
+        model, train_set, val_set, TrainConfig(epochs=epochs, batch_size=16, lr=lr, seed=0)
+    )
+    trainer.fit()
+    return trainer.best_top1
+
+
+class TestFullMLCNNPipeline:
+    def test_reorder_retrain_fuse_preserves_accuracy(self, workload):
+        """The paper's pipeline: reorder -> retrain -> fuse.  Fusion must
+        leave validation accuracy bit-identical (same function), and the
+        retrained reordered model must stay close to the original."""
+        _, val_set = workload
+        original = build_model("lenet5", num_classes=4, image_size=16, seed=1)
+        acc_original = train(original, workload)
+
+        reordered = build_model("lenet5", num_classes=4, image_size=16, seed=1)
+        reorder_activation_pooling(reordered)
+        acc_reordered = train(reordered, workload)
+
+        # marginal accuracy change claim (generous tolerance at this scale)
+        assert abs(acc_original - acc_reordered) < 0.25
+        assert acc_reordered > 0.5  # both clearly above 0.25 chance
+
+        _, top1_before, _ = evaluate(reordered, val_set)
+        fuse_network(reordered)
+        _, top1_after, _ = evaluate(reordered, val_set)
+        assert top1_after == pytest.approx(top1_before)
+
+    def test_quantized_mlcnn_pipeline(self, workload):
+        """Reordered + INT8-quantized model trains and stays usable."""
+        model = build_model("lenet5", num_classes=4, image_size=16, seed=1)
+        reorder_activation_pooling(model)
+        quantize_model(model, QuantConfig(8, 8))
+        acc = train(model, workload)
+        assert acc > 0.4  # chance is 0.25
+
+    def test_fused_and_unfused_agree_after_training(self, workload):
+        """Training THROUGH the fused kernel yields the same network as
+        the unfused reordered execution (weights shared)."""
+        _, val_set = workload
+        model = build_model("lenet5", num_classes=4, image_size=16, seed=2)
+        reorder_activation_pooling(model)
+        _, replaced = fuse_network(model)
+        train(model, workload, epochs=4)
+        x = Tensor(val_set.images[:8])
+        unfused = build_model("lenet5", num_classes=4, image_size=16, seed=2)
+        reorder_activation_pooling(unfused)
+        # same construction order -> same parameter order; copy values
+        for src, dst in zip(model.parameters(), unfused.parameters()):
+            dst.data[...] = src.data
+        with no_grad():
+            fused_out = model(x).data
+            unfused_out = unfused(x).data
+        np.testing.assert_allclose(fused_out, unfused_out, atol=1e-9)
+
+
+class TestAcceleratorPipeline:
+    def test_speedup_consistent_with_flop_reduction(self):
+        """Network-level: cycle reduction never exceeds total-op
+        reduction by more than the memory-savings factor."""
+        layer_specs = specs.get_specs("vgg16")
+        cmp = compare_networks(layer_specs, get_config("dcnn-fp32"), get_config("mlcnn-fp32"))
+        from repro.core.opcount import network_ops
+
+        ops_base = network_ops(layer_specs, fused=False).total
+        ops_fused = network_ops(layer_specs, fused=True).total
+        assert 1.0 < cmp.speedup < 1.5 * ops_base / ops_fused
+
+    def test_all_models_simulate_on_all_configs(self):
+        for model in specs.MODEL_SPECS:
+            layer_specs = specs.get_specs(model)
+            for cfg in ("dcnn-fp32", "mlcnn-fp32", "mlcnn-fp16", "mlcnn-int8"):
+                res = simulate_network(layer_specs, get_config(cfg))
+                assert res.cycles > 0 and np.isfinite(res.energy.total_j)
+
+
+class TestExperimentHarness:
+    def test_analytic_reports_render(self):
+        from repro.experiments import (
+            equation_limits,
+            table2_lar_filter,
+            table3_lar_stride,
+            table4_gar_filter,
+            table5_gar_stride,
+            table6_gar_inputdim,
+        )
+
+        for fn in (
+            table2_lar_filter,
+            table3_lar_stride,
+            table4_gar_filter,
+            table5_gar_stride,
+            table6_gar_inputdim,
+            equation_limits,
+        ):
+            rep = fn()
+            text = rep.render()
+            assert rep.experiment in text
+            assert rep.rows
+
+    def test_table2_rows_match_paper_columns(self):
+        from repro.experiments import table2_lar_filter
+
+        for row in table2_lar_filter().rows:
+            # ours == paper for both counts
+            assert row[1] == row[4] and row[2] == row[5]
+
+    def test_accelerator_reports_render(self):
+        from repro.experiments import ablation_reuse, fig14_flops_reduction, table7_configs
+
+        for fn in (table7_configs, fig14_flops_reduction, ablation_reuse):
+            rep = fn()
+            assert rep.rows
+
+    def test_accuracy_experiment_tiny_budget(self):
+        """Fig. 3 harness runs end-to-end on a minimal budget."""
+        from repro.experiments.accuracy import AccuracyBudget, fig3_reordering_accuracy
+
+        tiny = AccuracyBudget(
+            epochs=1,
+            samples_per_class_10=6,
+            samples_per_class_100=1,
+            image_size=32,
+            widths={"lenet5": 0.25},
+        )
+        rep = fig3_reordering_accuracy(models=("lenet5",), class_counts=(10,), budget=tiny)
+        assert len(rep.rows) == 1

@@ -1,0 +1,67 @@
+"""AlexNet: the paper's 11x11 LAR reference model."""
+
+import numpy as np
+import pytest
+
+from repro.core import opcount as oc
+from repro.models import build_model, specs
+from repro.models.specs import get_specs
+from repro.nn.tensor import Tensor, no_grad
+
+
+class TestAlexNetModel:
+    def test_forward_at_cifar_size(self):
+        model = build_model("alexnet", width_mult=0.25)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 32, 32)))
+        with no_grad():
+            assert model(x).shape == (2, 10)
+
+    def test_three_fusable_blocks(self):
+        from repro.core.transform import fuse_network
+        from repro.models import reorder_activation_pooling
+
+        model = build_model("alexnet", width_mult=0.25)
+        reorder_activation_pooling(model)
+        _, replaced = fuse_network(model)
+        assert len(replaced) == 3
+
+    def test_rejects_bad_image_size(self):
+        with pytest.raises(ValueError):
+            build_model("alexnet", image_size=30)
+
+
+class TestAlexNetSpecs:
+    def test_imagenet_scale_keeps_11x11(self):
+        """At 224x224 the first kernel is the paper's 11x11 reference."""
+        sl = get_specs("alexnet", 224)
+        assert sl[0].kernel == 11
+        assert sl[0].is_fusable
+
+    def test_kernel_scales_down_with_input(self):
+        assert get_specs("alexnet", 64)[0].kernel == 7
+        assert get_specs("alexnet", 32)[0].kernel == 5
+
+    def test_conv1_lar_reduction_matches_table2(self):
+        """Table II says an 11x11 filter reaches the best LAR rate
+        (22.8%); AlexNet's conv1 is exactly that configuration."""
+        sl = get_specs("alexnet", 224)
+        k = sl[0].kernel
+        assert round(100 * oc.lar_reduction_rate(k), 1) == 22.8
+
+    def test_conv1_gar_reduction_at_imagenet_scale(self):
+        """Table VI: large inputs push GAR towards its limit; at D=224
+        with K=11 the reduction is well above the D=28 value."""
+        assert oc.gar_reduction_rate(224, 11) > oc.gar_reduction_rate(28, 11)
+
+    def test_fusable_count(self):
+        assert len(specs.fusable_layers(get_specs("alexnet", 224))) == 3
+
+    def test_accelerator_speedup_on_conv1(self):
+        """The big fused first layer speeds up like the other 2x2-pooled
+        layers (~4x at FP32)."""
+        from repro.accel import compare_networks, get_config
+
+        sl = get_specs("alexnet", 64)
+        cmp = compare_networks(sl, get_config("dcnn-fp32"), get_config("mlcnn-fp32"))
+        s = cmp.layer_speedups()
+        assert s["C1"] > 2.0

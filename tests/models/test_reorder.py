@@ -1,0 +1,152 @@
+"""Layer reordering and all-conv transforms (Section III)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MODEL_REGISTRY,
+    build_model,
+    conv_pool_blocks,
+    reorder_activation_pooling,
+    restore_original_order,
+    set_pooling,
+    to_allconv,
+)
+from repro.models.blocks import ConvBlock, PoolSpec
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, no_grad
+
+SMALL = {"alexnet": 0.25, "lenet5": 1.0, "vgg16": 0.125, "vgg19": 0.125, "googlenet": 0.0625,
+         "densenet": 0.5, "resnet18": 0.125}
+
+
+@pytest.fixture
+def x32():
+    return Tensor(np.random.default_rng(2).normal(size=(2, 3, 32, 32)))
+
+
+class TestReorderTransform:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_reorder_flips_every_pooled_block(self, name):
+        model = build_model(name, width_mult=SMALL[name])
+        reorder_activation_pooling(model)
+        for blk in conv_pool_blocks(model):
+            assert blk.order == "pool_act"
+
+    def test_restore_undoes_reorder(self):
+        model = build_model("lenet5")
+        reorder_activation_pooling(model)
+        restore_original_order(model)
+        assert all(b.order == "act_pool" for b in conv_pool_blocks(model))
+
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_reorder_preserves_shapes(self, name, x32):
+        model = build_model(name, width_mult=SMALL[name])
+        with no_grad():
+            before = model(x32).shape
+        reorder_activation_pooling(model)
+        with no_grad():
+            after = model(x32).shape
+        assert before == after
+
+    def test_maxpool_reorder_is_exact(self, x32):
+        """ReLU(maxpool(x)) == maxpool(ReLU(x)) — the reorder is lossless
+        for max pooling (cited from Daultani et al.)."""
+        model = build_model("vgg16", width_mult=0.125, pooling="max", seed=3)
+        with no_grad():
+            before = model(x32).data
+        reorder_activation_pooling(model)
+        with no_grad():
+            after = model(x32).data
+        np.testing.assert_allclose(before, after, atol=1e-10)
+
+    def test_avgpool_reorder_jensen_inequality(self):
+        """relu(avg(x)) <= avg(relu(x)) elementwise (ReLU convex), so a
+        single reordered block is pointwise below the original."""
+        rng = np.random.default_rng(4)
+        blk = ConvBlock(2, 3, 3, pool=PoolSpec("avg", 2), order="act_pool", rng=rng)
+        x = Tensor(rng.normal(size=(4, 2, 10, 10)))
+        with no_grad():
+            original = blk(x).data
+            blk.order = "pool_act"
+            reordered = blk(x).data
+        assert (reordered <= original + 1e-12).all()
+        # and they differ somewhere (mixed-sign windows exist)
+        assert not np.allclose(original, reordered)
+
+    def test_reorder_counts_match_paper(self):
+        """Fusable layer counts after reordering: LeNet-5 2, VGG-16 5,
+        GoogLeNet 3 pooled stages, DenseNet 3 transitions."""
+        counts = {}
+        for name in ("lenet5", "vgg16", "googlenet", "densenet"):
+            model = build_model(name, width_mult=SMALL[name])
+            reorder_activation_pooling(model)
+            counts[name] = len(conv_pool_blocks(model))
+        assert counts["lenet5"] == 2
+        assert counts["vgg16"] == 5
+        assert counts["googlenet"] == 3  # pooled inception stages (4 convs each)
+        assert counts["densenet"] == 3
+
+
+class TestSetPooling:
+    def test_switches_kind(self):
+        model = build_model("vgg16", width_mult=0.125, pooling="max")
+        set_pooling(model, "avg")
+        assert all(b.pool.kind == "avg" for b in conv_pool_blocks(model))
+
+    def test_rejects_unknown_kind(self):
+        model = build_model("lenet5")
+        with pytest.raises(ValueError):
+            set_pooling(model, "median")
+
+    def test_changes_output(self, x32):
+        model = build_model("lenet5", pooling="max", seed=1)
+        with no_grad():
+            a = model(x32).data
+        set_pooling(model, "avg")
+        with no_grad():
+            b = model(x32).data
+        assert not np.allclose(a, b)
+
+
+class TestAllConv:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_allconv_preserves_output_shape(self, name, x32):
+        model = build_model(name, width_mult=SMALL[name])
+        with no_grad():
+            before = model(x32).shape
+        to_allconv(model)
+        with no_grad():
+            after = model(x32).shape
+        assert before == after
+
+    def test_allconv_removes_all_pools(self):
+        model = build_model("vgg16", width_mult=0.125)
+        to_allconv(model)
+        assert conv_pool_blocks(model) == []
+
+    def test_allconv_boosts_stride(self):
+        model = build_model("lenet5")
+        to_allconv(model)
+        strides = [b.conv.stride for _, b in model.named_modules() if isinstance(b, ConvBlock)]
+        assert (2, 2) in strides
+
+    def test_allconv_googlenet_adds_downsample(self):
+        from repro.models.blocks import PooledInception
+
+        model = build_model("googlenet", width_mult=0.0625)
+        to_allconv(model)
+        pooled = [m for _, m in model.named_modules() if isinstance(m, PooledInception)]
+        assert all(p.pool is None for p in pooled)
+        assert all(p.downsample is not None for p in pooled)
+
+    def test_allconv_reduces_or_equals_conv_outputs(self, x32):
+        """All-conv computes strictly fewer conv outputs (that is its
+        point: it skips the features pooling would discard)."""
+        from repro.analysis.flops import count_model_macs
+
+        dense = build_model("lenet5")
+        allconv = to_allconv(build_model("lenet5"))
+        macs_dense = count_model_macs(dense, (1, 3, 32, 32))
+        macs_allconv = count_model_macs(allconv, (1, 3, 32, 32))
+        assert macs_allconv < macs_dense

@@ -1,0 +1,104 @@
+"""Layer-spec lists: internal consistency and agreement with live models."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model, specs
+from repro.models.specs import LayerSpec, fusable_layers, get_specs
+from repro.nn.tensor import Tensor, no_grad
+
+
+class TestLayerSpec:
+    def test_output_sizes(self):
+        s = LayerSpec("c", 3, 8, 32, 5, pool=2)
+        assert s.conv_output_size == 28
+        assert s.output_size == 14
+
+    def test_padding_preserves_size(self):
+        s = LayerSpec("c", 3, 8, 32, 3, padding=1)
+        assert s.conv_output_size == 32
+
+    def test_pool_stride_defaults(self):
+        s = LayerSpec("c", 1, 1, 8, 3, pool=2)
+        assert s.pool_stride == 2
+
+    def test_is_fusable(self):
+        assert LayerSpec("c", 1, 1, 8, 3, pool=2).is_fusable
+        assert not LayerSpec("c", 1, 1, 8, 3).is_fusable
+        assert not LayerSpec("c", 1, 1, 8, 3, stride=2, pool=2).is_fusable
+
+    def test_macs(self):
+        s = LayerSpec("c", 2, 4, 6, 3)
+        assert s.macs == 4 * 4 * 4 * 2 * 9
+
+    def test_invalid_spec_raises(self):
+        with pytest.raises(ValueError):
+            LayerSpec("c", 0, 1, 8, 3)
+
+    def test_empty_output_raises(self):
+        with pytest.raises(ValueError):
+            LayerSpec("c", 1, 1, 4, 7).conv_output_size
+
+
+class TestModelSpecs:
+    def test_fusable_counts_match_paper(self):
+        """Section VII: LeNet-5 2, VGG-16 5, GoogLeNet 12, DenseNet 3."""
+        assert len(fusable_layers(get_specs("lenet5"))) == 2
+        assert len(fusable_layers(get_specs("vgg16"))) == 5
+        assert len(fusable_layers(get_specs("googlenet"))) == 12
+        assert len(fusable_layers(get_specs("densenet"))) == 3
+
+    def test_googlenet_final_stage_has_8x8_pool(self):
+        """The paper attributes GoogLeNet's 98% mult reduction to its 8x8
+        final average pool."""
+        stage5b = [s for s in get_specs("googlenet") if s.name.startswith("5b") and s.pool]
+        assert stage5b and all(s.pool == 8 for s in stage5b)
+
+    def test_densenet_transitions_are_1x1(self):
+        transitions = fusable_layers(get_specs("densenet"))
+        assert all(s.kernel == 1 for s in transitions)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_specs("mobilenet")
+
+    def test_chained_spatial_dims_consistent(self):
+        """Each layer's input size equals its producer's output size
+        within sequential models."""
+        for model in ("lenet5", "vgg16", "vgg19"):
+            layer_specs = get_specs(model)
+            for prev, cur in zip(layer_specs, layer_specs[1:]):
+                assert cur.input_size == prev.output_size, (model, cur.name)
+
+    @pytest.mark.parametrize("model", ["lenet5", "vgg16", "densenet"])
+    def test_specs_agree_with_live_model_macs(self, model):
+        """Conv MACs from specs match a MAC-counting forward pass of the
+        full-width live model."""
+        from repro.analysis.flops import count_model_macs
+
+        spec_macs = sum(s.macs for s in get_specs(model))
+        live = build_model(model, image_size=32, width_mult=1.0)
+        live_macs = count_model_macs(live, (1, 3, 32, 32))
+        # live includes the classifier Linear layers; conv MACs dominate
+        assert spec_macs <= live_macs
+        assert spec_macs > 0.5 * live_macs
+
+    def test_googlenet_specs_agree_with_live_macs(self):
+        from repro.analysis.flops import count_model_macs
+
+        spec_macs = sum(s.macs for s in get_specs("googlenet"))
+        live = build_model("googlenet", image_size=32, width_mult=1.0)
+        live_macs = count_model_macs(live, (1, 3, 32, 32))
+        # inception pool-branch maxpool has no MACs; convs must line up
+        assert abs(spec_macs - live_macs) / live_macs < 0.05
+
+    def test_resnet18_stage_progression(self):
+        layer_specs = get_specs("resnet18")
+        widths = [s.out_channels for s in layer_specs]
+        assert widths[0] == 64 and widths[-1] == 512
+
+    def test_image_size_parameter_respected(self):
+        for model in specs.MODEL_SPECS:
+            for size in (32, 64):
+                layer_specs = get_specs(model, size)
+                assert layer_specs[0].input_size == size

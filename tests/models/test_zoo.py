@@ -1,0 +1,117 @@
+"""Model zoo: every architecture builds, runs, trains; Table I params."""
+
+import numpy as np
+import pytest
+
+from repro.models import MODEL_REGISTRY, build_model
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, no_grad
+
+SMALL = {"alexnet": 0.25, "lenet5": 1.0, "vgg16": 0.125, "vgg19": 0.125, "googlenet": 0.0625,
+         "densenet": 0.5, "resnet18": 0.125}
+
+
+@pytest.fixture
+def x32():
+    return Tensor(np.random.default_rng(0).normal(size=(2, 3, 32, 32)))
+
+
+class TestForwardPasses:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_forward_shape(self, name, x32):
+        model = build_model(name, num_classes=7, width_mult=SMALL[name])
+        with no_grad():
+            out = model(x32)
+        assert out.shape == (2, 7)
+        assert np.isfinite(out.data).all()
+
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_backward_reaches_every_parameter(self, name, x32):
+        model = build_model(name, num_classes=4, width_mult=SMALL[name])
+        out = model(x32)
+        F.cross_entropy(out, np.array([0, 1])).backward()
+        for pname, p in model.named_parameters():
+            assert p.grad is not None, f"{name}: no grad for {pname}"
+            assert np.isfinite(p.grad).all(), f"{name}: non-finite grad for {pname}"
+
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_deterministic_given_seed(self, name, x32):
+        a = build_model(name, width_mult=SMALL[name], seed=5)
+        b = build_model(name, width_mult=SMALL[name], seed=5)
+        with no_grad():
+            np.testing.assert_array_equal(a(x32).data, b(x32).data)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("mobilenet")
+
+
+class TestTableI:
+    def test_lenet5_parameter_count_matches_paper(self):
+        """Paper Table I: LeNet-5 has ~62K learnable parameters."""
+        model = build_model("lenet5", num_classes=10, image_size=32)
+        assert abs(model.num_parameters() - 62_000) < 1_500
+
+    def test_vgg19_larger_than_vgg16(self):
+        v16 = build_model("vgg16", width_mult=0.25)
+        v19 = build_model("vgg19", width_mult=0.25)
+        assert v19.num_parameters() > v16.num_parameters()
+
+    def test_conv_layer_counts(self):
+        """Table I conv-layer counts via the spec lists."""
+        from repro.models import specs
+
+        assert len(specs.get_specs("lenet5")) == 3  # 1+1+1
+        assert len(specs.get_specs("vgg16")) == 13  # 2+2+3+3+3
+        assert len(specs.get_specs("vgg19")) == 16  # 2+2+4+4+4
+        assert len(specs.get_specs("googlenet")) == 57  # 3 stem + 9x6
+
+
+class TestSizeValidation:
+    def test_vgg_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            build_model("vgg16", image_size=24)
+
+    def test_googlenet_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            build_model("googlenet", image_size=30)
+
+    def test_lenet_rejects_tiny_images(self):
+        with pytest.raises(ValueError):
+            build_model("lenet5", image_size=8)
+
+    def test_densenet_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            build_model("densenet", image_size=20)
+
+    def test_resnet_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            build_model("resnet18", image_size=24)
+
+
+class TestWidthScaling:
+    def test_width_mult_scales_parameters(self):
+        small = build_model("vgg16", width_mult=0.125)
+        large = build_model("vgg16", width_mult=0.25)
+        assert large.num_parameters() > 2 * small.num_parameters()
+
+    def test_models_work_at_16px(self):
+        x16 = Tensor(np.random.default_rng(1).normal(size=(1, 3, 16, 16)))
+        for name in ("lenet5", "googlenet", "densenet", "resnet18"):
+            model = build_model(name, image_size=16, width_mult=SMALL[name])
+            with no_grad():
+                assert model(x16).shape == (1, 10)
+
+
+class TestPoolingAndOrderOptions:
+    @pytest.mark.parametrize("name", ["lenet5", "vgg16", "googlenet", "resnet18"])
+    def test_max_pooling_variant(self, name, x32):
+        model = build_model(name, width_mult=SMALL[name], pooling="max")
+        with no_grad():
+            assert model(x32).shape == (2, 10)
+
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_reordered_construction(self, name, x32):
+        model = build_model(name, width_mult=SMALL[name], order="pool_act")
+        with no_grad():
+            assert model(x32).shape == (2, 10)

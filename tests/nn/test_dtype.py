@@ -1,0 +1,67 @@
+"""float32 training mode (Module.to_dtype)."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn import BatchNorm2d, Conv2d, Sequential, functional as F
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor, no_grad
+
+
+class TestToDtype:
+    def test_parameters_cast(self):
+        model = build_model("lenet5")
+        model.to_dtype(np.float32)
+        for _, p in model.named_parameters():
+            assert p.data.dtype == np.float32
+
+    def test_buffers_cast(self):
+        model = Sequential(BatchNorm2d(4))
+        model.to_dtype(np.float32)
+        assert model[0].running_mean.dtype == np.float32
+        # the attribute alias is replaced too
+        assert model[0]._buffers["running_mean"].dtype == np.float32
+
+    def test_forward_stays_float32(self):
+        model = build_model("lenet5").to_dtype(np.float32)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 32, 32)).astype(np.float32))
+        with no_grad():
+            out = model(x)
+        assert out.dtype == np.float32
+
+    def test_float32_matches_float64_closely(self):
+        x64 = np.random.default_rng(0).normal(size=(2, 3, 32, 32))
+        m64 = build_model("lenet5", seed=3)
+        m32 = build_model("lenet5", seed=3).to_dtype(np.float32)
+        with no_grad():
+            y64 = m64(Tensor(x64)).data
+            y32 = m32(Tensor(x64.astype(np.float32))).data
+        np.testing.assert_allclose(y32, y64, rtol=1e-3, atol=1e-3)
+
+    def test_training_step_in_float32(self):
+        model = build_model("lenet5", num_classes=4, image_size=16).to_dtype(np.float32)
+        opt = SGD(model.parameters(), lr=0.01)
+        x = Tensor(np.random.default_rng(1).normal(size=(8, 3, 16, 16)).astype(np.float32))
+        loss = F.cross_entropy(model(x), np.zeros(8, dtype=int))
+        loss.backward()
+        for _, p in model.named_parameters():
+            assert p.grad is not None
+            assert p.grad.dtype == np.float32
+        opt.step()
+        assert all(p.data.dtype == np.float32 for p in model.parameters())
+
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(ValueError):
+            build_model("lenet5").to_dtype(np.int32)
+
+    def test_cast_back_to_float64(self):
+        model = build_model("lenet5").to_dtype(np.float32).to_dtype(np.float64)
+        assert all(p.data.dtype == np.float64 for p in model.parameters())
+
+    def test_batchnorm_forward_after_cast(self):
+        model = Sequential(Conv2d(1, 2, 3, rng=np.random.default_rng(0)), BatchNorm2d(2))
+        model.to_dtype(np.float32)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 1, 6, 6)).astype(np.float32))
+        out = model(x)
+        assert np.isfinite(out.data).all()

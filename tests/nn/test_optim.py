@@ -1,0 +1,146 @@
+"""Optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam, CosineLR, StepLR
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(params):
+    """f(x) = ||x - 3||^2, minimized at 3."""
+    x = params[0]
+    return ((x - 3.0) ** 2).sum()
+
+
+def run_steps(opt, params, steps=200):
+    for _ in range(steps):
+        loss = quadratic_loss(params)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return quadratic_loss(params).item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        x = Tensor(np.array([10.0, -5.0]), requires_grad=True)
+        assert run_steps(SGD([x], lr=0.1), [x]) < 1e-6
+
+    def test_momentum_converges(self):
+        x = Tensor(np.array([10.0]), requires_grad=True)
+        assert run_steps(SGD([x], lr=0.05, momentum=0.9), [x]) < 1e-6
+
+    def test_nesterov_converges(self):
+        x = Tensor(np.array([10.0]), requires_grad=True)
+        assert run_steps(SGD([x], lr=0.05, momentum=0.9, nesterov=True), [x]) < 1e-6
+
+    def test_weight_decay_shrinks_solution(self):
+        x = Tensor(np.array([10.0]), requires_grad=True)
+        run_steps(SGD([x], lr=0.1, weight_decay=1.0), [x])
+        # decay pulls the optimum below 3
+        assert 0 < x.data[0] < 3.0
+
+    def test_skips_params_without_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([x, y], lr=0.1)
+        loss = (x * 2).sum()
+        loss.backward()
+        opt.step()
+        assert y.data[0] == 1.0
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_bad_lr(self):
+        x = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([x], lr=-1.0)
+
+    def test_rejects_bad_momentum(self):
+        x = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([x], lr=0.1, momentum=1.5)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        x = Tensor(np.array([10.0, -4.0]), requires_grad=True)
+        assert run_steps(Adam([x], lr=0.2), [x], steps=400) < 1e-4
+
+    def test_bias_correction_first_step(self):
+        # After one step with |grad| >> eps, Adam moves by ~lr.
+        x = Tensor(np.array([10.0]), requires_grad=True)
+        opt = Adam([x], lr=0.1)
+        loss = quadratic_loss([x])
+        loss.backward()
+        opt.step()
+        assert np.isclose(x.data[0], 10.0 - 0.1, atol=1e-3)
+
+    def test_weight_decay(self):
+        x = Tensor(np.array([5.0]), requires_grad=True)
+        run_steps(Adam([x], lr=0.1, weight_decay=1.0), [x], steps=500)
+        assert x.data[0] < 3.0
+
+
+class TestSchedules:
+    def _opt(self):
+        x = Tensor(np.zeros(1), requires_grad=True)
+        return SGD([x], lr=1.0)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = []
+        for _ in range(6):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == [1.0, 0.5, 0.5, 0.25, 0.25, 0.125]
+
+    def test_cosine_lr_endpoints(self):
+        opt = self._opt()
+        sched = CosineLR(opt, t_max=10, min_lr=0.1)
+        assert np.isclose(sched.lr_at(0), 1.0)
+        assert np.isclose(sched.lr_at(10), 0.1)
+        assert np.isclose(sched.lr_at(5), 0.55)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = self._opt()
+        sched = CosineLR(opt, t_max=20)
+        vals = [sched.lr_at(e) for e in range(21)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_step_lr_validates(self):
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)
+
+    def test_cosine_validates(self):
+        with pytest.raises(ValueError):
+            CosineLR(self._opt(), t_max=0)
+
+
+class TestInit:
+    def test_kaiming_normal_std(self):
+        from repro.nn import init
+
+        rng = np.random.default_rng(0)
+        w = init.kaiming_normal((256, 128), rng)
+        assert np.isclose(w.std(), np.sqrt(2.0 / 128), rtol=0.1)
+
+    def test_xavier_uniform_bound(self):
+        from repro.nn import init
+
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((64, 64), rng)
+        bound = np.sqrt(6.0 / 128)
+        assert np.abs(w).max() <= bound
+
+    def test_conv_fan_computation(self):
+        from repro.nn.init import _fan
+
+        assert _fan((16, 8, 3, 3)) == (72, 144)
+        assert _fan((10, 20)) == (20, 10)
+        with pytest.raises(ValueError):
+            _fan((1, 2, 3))

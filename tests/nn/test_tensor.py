@@ -1,0 +1,318 @@
+"""Autograd tensor: arithmetic, broadcasting, graph mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+
+    def test_from_array_preserves_float32(self):
+        t = Tensor(np.zeros((2, 2), dtype=np.float32))
+        assert t.dtype == np.float32
+
+    def test_int_input_promoted_to_float(self):
+        t = Tensor(np.arange(4))
+        assert t.dtype == np.float64
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_item_scalar(self):
+        assert Tensor([[3.5]]).item() == 3.5
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+
+class TestArithmeticValues:
+    def test_add_sub_mul_div(self):
+        a = Tensor([2.0, 4.0])
+        b = Tensor([1.0, 2.0])
+        assert np.allclose((a + b).data, [3, 6])
+        assert np.allclose((a - b).data, [1, 2])
+        assert np.allclose((a * b).data, [2, 8])
+        assert np.allclose((a / b).data, [2, 2])
+
+    def test_scalar_operands(self):
+        a = Tensor([1.0, 2.0])
+        assert np.allclose((a + 1).data, [2, 3])
+        assert np.allclose((1 + a).data, [2, 3])
+        assert np.allclose((2 - a).data, [1, 0])
+        assert np.allclose((3 * a).data, [3, 6])
+        assert np.allclose((2 / a).data, [2, 1])
+
+    def test_neg_pow(self):
+        a = Tensor([2.0, -3.0])
+        assert np.allclose((-a).data, [-2, 3])
+        assert np.allclose((a ** 2).data, [4, 9])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.eye(3) * 2)
+        b = Tensor(np.arange(9.0).reshape(3, 3))
+        assert np.allclose((a @ b).data, 2 * b.data)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+
+class TestBackwardBasics:
+    def test_add_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1, 1])
+        assert np.allclose(b.grad, [1, 1])
+
+    def test_mul_grad(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, b.data)
+        assert np.allclose(b.grad, a.data)
+
+    def test_div_grad(self):
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).backward(np.ones(1))
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [-1.0])
+
+    def test_chain_rule(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = (x * 2 + 1) ** 2  # y = (2x+1)^2, dy/dx = 4(2x+1) = 28
+        y.backward(np.ones(1))
+        assert np.allclose(x.grad, [28.0])
+
+    def test_diamond_graph_accumulates(self):
+        # z = x*x uses x twice; dz/dx = 2x
+        x = Tensor([3.0], requires_grad=True)
+        (x * x).backward(np.ones(1))
+        assert np.allclose(x.grad, [6.0])
+
+    def test_repeated_backward_accumulates_into_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).backward(np.ones(1))
+        (x * 2).backward(np.ones(1))
+        assert np.allclose(x.grad, [4.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).backward(np.ones(1))
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_backward_requires_scalar_without_grad_arg(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_backward_rejects_wrong_grad_shape(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward(np.ones(3))
+
+    def test_matmul_grad(self):
+        a = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]), requires_grad=True)
+        b = Tensor(np.array([[5.0, 6.0], [7.0, 8.0]]), requires_grad=True)
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, b.data.sum(axis=1, keepdims=True).T.repeat(2, 0))
+        assert np.allclose(b.grad, a.data.sum(axis=0)[:, None].repeat(2, 1))
+
+    def test_vector_matmul_grad(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a @ b).backward(np.ones(()))
+        assert np.allclose(a.grad, b.data)
+        assert np.allclose(b.grad, a.data)
+
+
+class TestBroadcasting:
+    def test_broadcast_add_grad_sums_over_expanded_axes(self):
+        a = Tensor(np.zeros((3, 4)), requires_grad=True)
+        b = Tensor(np.zeros(4), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_broadcast_keepdim_axis(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((2, 1)), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(b.grad, 3.0)
+
+    def test_scalar_broadcast(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        (a * 3.0).sum().backward()
+        assert np.allclose(a.grad, 3.0)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        s = x.sum(axis=1, keepdims=True)
+        assert s.shape == (2, 1)
+        s.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_mean_grad(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_mean_over_axis(self):
+        x = Tensor(np.ones((2, 4)), requires_grad=True)
+        m = x.mean(axis=1)
+        assert m.shape == (2,)
+        m.sum().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_reshape_roundtrip_grad(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        y = x.reshape(2, 3).reshape(-1)
+        (y * y).sum().backward()
+        assert np.allclose(x.grad, 2 * x.data)
+
+    def test_transpose_grad(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        y = x.T
+        assert y.shape == (3, 2)
+        (y * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        assert x.grad.shape == (2, 3)
+
+    def test_getitem_grad_scatter(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        x[np.array([0, 0, 3])].sum().backward()
+        assert np.allclose(x.grad, [2, 0, 0, 1, 0])
+
+    def test_max_grad_splits_ties(self):
+        x = Tensor(np.array([1.0, 2.0, 2.0]), requires_grad=True)
+        x.max().backward(np.ones(()))
+        assert np.allclose(x.grad, [0, 0.5, 0.5])
+
+    def test_max_axis_keepdims(self):
+        x = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]]), requires_grad=True)
+        m = x.max(axis=1, keepdims=True)
+        assert m.shape == (2, 1)
+        m.sum().backward()
+        assert np.allclose(x.grad, [[0, 1], [1, 0]])
+
+
+class TestElementwise:
+    def test_relu_values_and_grad(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]), requires_grad=True)
+        y = x.relu()
+        assert np.allclose(y.data, [0, 0, 2])
+        y.sum().backward()
+        assert np.allclose(x.grad, [0, 0, 1])
+
+    def test_exp_log_inverse(self):
+        x = Tensor(np.array([0.5, 1.5]), requires_grad=True)
+        y = x.exp().log()
+        assert np.allclose(y.data, x.data)
+
+    def test_sigmoid_range_and_grad(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        y = x.sigmoid()
+        assert np.allclose(y.data, 0.5)
+        y.backward(np.ones(1))
+        assert np.allclose(x.grad, 0.25)
+
+    def test_tanh_grad(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        x.tanh().backward(np.ones(1))
+        assert np.allclose(x.grad, 1.0)
+
+    def test_abs_grad(self):
+        x = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        x.abs().sum().backward()
+        assert np.allclose(x.grad, [-1, 1])
+
+    def test_clip_grad_masks_outside(self):
+        x = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        x.clip(0.0, 1.0).sum().backward()
+        assert np.allclose(x.grad, [0, 1, 0])
+
+
+class TestGradMode:
+    def test_no_grad_disables_graph(self):
+        with no_grad():
+            assert not is_grad_enabled()
+            x = Tensor([1.0], requires_grad=True)
+            y = x * 2
+            assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3).detach() * 2
+        assert not y.requires_grad
+
+    def test_astype_grad_flows(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = x.astype(np.float32)
+        assert y.dtype == np.float32
+        (y * 2).sum().backward()
+        assert np.allclose(x.grad, 2.0)
+
+
+class TestIndexingBackward:
+    def test_basic_slice(self):
+        x = Tensor(np.arange(10.0), requires_grad=True)
+        x[2:5].sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1
+        assert np.allclose(x.grad, expected)
+
+    def test_strided_slice(self):
+        x = Tensor(np.arange(8.0), requires_grad=True)
+        x[::2].sum().backward()
+        assert np.allclose(x.grad, [1, 0, 1, 0, 1, 0, 1, 0])
+
+    def test_2d_row_selection(self):
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        x[1].sum().backward()
+        assert np.allclose(x.grad[1], 1.0)
+        assert np.allclose(x.grad[[0, 2]], 0.0)
+
+    def test_boolean_mask(self):
+        x = Tensor(np.array([1.0, -2.0, 3.0]), requires_grad=True)
+        mask = np.array([True, False, True])
+        x[mask].sum().backward()
+        assert np.allclose(x.grad, [1, 0, 1])
+
+    def test_transpose_with_axes(self):
+        x = Tensor(np.arange(24.0).reshape(2, 3, 4), requires_grad=True)
+        y = x.transpose(2, 0, 1)
+        assert y.shape == (4, 2, 3)
+        (y * 2).sum().backward()
+        assert np.allclose(x.grad, 2.0)
+
+    def test_negative_reshape_dim(self):
+        x = Tensor(np.arange(12.0), requires_grad=True)
+        y = x.reshape(3, -1)
+        assert y.shape == (3, 4)
+        y.sum().backward()
+        assert np.allclose(x.grad, 1.0)

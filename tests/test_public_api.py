@@ -1,0 +1,55 @@
+"""Public API surface: everything advertised in __all__ exists and docs
+reference real symbols."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.nn",
+    "repro.data",
+    "repro.train",
+    "repro.models",
+    "repro.core",
+    "repro.accel",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+class TestPublicAPI:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_exports_resolve(self, name):
+        mod = importlib.import_module(name)
+        assert hasattr(mod, "__all__"), f"{name} lacks __all__"
+        for symbol in mod.__all__:
+            assert hasattr(mod, symbol), f"{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_module_docstrings(self, name):
+        mod = importlib.import_module(name)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 20, f"{name} undocumented"
+
+    def test_public_callables_documented(self):
+        """Every public function/class re-exported at the top level has
+        a docstring."""
+        import repro
+
+        for symbol in repro.__all__:
+            obj = getattr(repro, symbol)
+            if callable(obj):
+                assert obj.__doc__, f"repro.{symbol} lacks a docstring"
+
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+    def test_registry_and_specs_agree(self):
+        """Every zoo model has a matching full-size spec list."""
+        from repro.models import MODEL_REGISTRY
+        from repro.models.specs import MODEL_SPECS
+
+        assert set(MODEL_REGISTRY) == set(MODEL_SPECS)
