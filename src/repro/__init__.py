@@ -13,16 +13,19 @@ Applications* (IPDPS 2022):
 * :mod:`repro.core` — the paper's contribution: RME/LAR/GAR op-count
   models, the fused conv-pool kernel, network fusion, DoReFa
   quantization.
+* :mod:`repro.compiler` — compiler-style pass pipeline over model
+  graphs: registered passes, validation hooks, plan cache,
+  :class:`CompileReport` instrumentation.
 * :mod:`repro.accel` — accelerator cycle/energy/area model and the
   RTL-level AR-unit/MAC-slice micro-simulator.
 * :mod:`repro.analysis` — FLOP audits and report formatting.
 
 Quickstart::
 
-    from repro import build_model, reorder_activation_pooling, fuse_network
+    from repro import build_model, mlcnn_pipeline
     model = build_model("lenet5")
-    reorder_activation_pooling(model)   # Conv -> AvgPool -> ReLU
-    fuse_network(model)                 # RME + LAR + GAR fused kernel
+    model, report = mlcnn_pipeline(bits=8).run(model)
+    print(report.summary())            # per-pass time/rewrites/FLOP deltas
 """
 
 __version__ = "1.0.0"
@@ -46,8 +49,18 @@ from repro.accel import (
     simulate_network,
     compare_networks,
 )
+from repro.compiler import (
+    CompileContext,
+    CompileReport,
+    Pipeline,
+    mlcnn_pipeline,
+)
 
 __all__ = [
+    "CompileContext",
+    "CompileReport",
+    "Pipeline",
+    "mlcnn_pipeline",
     "__version__",
     "build_model",
     "reorder_activation_pooling",

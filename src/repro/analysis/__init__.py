@@ -1,6 +1,12 @@
 """repro.analysis — FLOP audits and experiment reporting."""
 
-from repro.analysis.flops import model_flops, count_model_macs, layer_table
+from repro.analysis.flops import (
+    model_flops,
+    count_model_macs,
+    count_transformed_macs,
+    probe_forward,
+    layer_table,
+)
 from repro.analysis.report import format_table, format_percent, ExperimentReport
 from repro.analysis.sweep import (
     lar_rate_vs_filter,
@@ -15,6 +21,8 @@ from repro.analysis.sweep import (
 __all__ = [
     "model_flops",
     "count_model_macs",
+    "count_transformed_macs",
+    "probe_forward",
     "layer_table",
     "format_table",
     "format_percent",

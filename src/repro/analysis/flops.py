@@ -68,6 +68,56 @@ def count_model_macs(model: Module, input_shape: tuple) -> int:
     return macs["total"]
 
 
+def probe_forward(model: Module, x: np.ndarray):
+    """One gradient-free forward pass returning ``(output, macs)``.
+
+    Unlike :func:`count_model_macs` (which hooks the ``Conv2d`` /
+    ``Linear`` *modules*), this hooks the functional ``conv2d`` /
+    ``linear`` entry points, so transformed models are counted
+    faithfully: a :class:`~repro.core.fusion.FusedConvPool` convolves
+    the box-summed input at *pooled* resolution and is therefore
+    counted at the RME-reduced cost, and a
+    :class:`~repro.core.quantize.QuantizedConvBlock` (which bypasses
+    ``Conv2d.forward``) is counted at all.  The compiler pipeline uses
+    this for its per-pass FLOP-delta instrumentation.
+    """
+    from repro.nn import functional as F
+    from repro.nn.tensor import Tensor, no_grad
+
+    macs = {"total": 0}
+    original_conv = F.conv2d
+    original_linear = F.linear
+
+    def conv2d(x, weight, bias=None, stride=1, padding=0, save_memory=None):
+        out = original_conv(x, weight, bias, stride, padding, save_memory)
+        n, m, ho, wo = out.shape
+        _, cin, kh, kw = weight.shape
+        macs["total"] += n * m * ho * wo * cin * kh * kw
+        return out
+
+    def linear(x, weight, bias=None):
+        out = original_linear(x, weight, bias)
+        fan_out, fan_in = weight.shape
+        macs["total"] += x.shape[0] * fan_in * fan_out
+        return out
+
+    F.conv2d = conv2d
+    F.linear = linear
+    try:
+        with no_grad():
+            out = model(Tensor(np.asarray(x)))
+    finally:
+        F.conv2d = original_conv
+        F.linear = original_linear
+    return out.data, macs["total"]
+
+
+def count_transformed_macs(model: Module, input_shape: tuple) -> int:
+    """MAC count of a (possibly fused/quantized) model; see :func:`probe_forward`."""
+    _, macs = probe_forward(model, np.zeros(input_shape))
+    return macs
+
+
 def layer_table(specs: Sequence[LayerSpec]) -> List[Dict[str, object]]:
     """Per-layer audit rows for Fig. 14-style reporting."""
     rows: List[Dict[str, object]] = []

@@ -40,20 +40,26 @@ def _replace_children(module: Module, replaced: List[Tuple[str, FusedConvPool]],
             _replace_children(child, replaced, path + ".")
 
 
-def fuse_network(model: Module) -> Tuple[Module, List[Tuple[str, FusedConvPool]]]:
+def fuse_network(
+    model: Module, strict: bool = True
+) -> Tuple[Module, List[Tuple[str, FusedConvPool]]]:
     """Fuse every eligible conv-pool block in ``model`` (in place).
 
     Returns ``(model, replaced)`` where ``replaced`` lists the module
-    paths that now execute the fused kernel.  Raises if nothing was
-    fusable, which usually means the model still has the original
-    ReLU+AP order or max pooling.
+    paths that now execute the fused kernel.  With ``strict=True`` (the
+    default) raises if nothing was fusable, which usually means the
+    model still has the original ReLU+AP order or max pooling; with
+    ``strict=False`` an empty ``replaced`` list is returned instead, so
+    pipelines compose over models with no fusable stages (e.g.
+    DenseNet-style 1x1-output stages) without try/except glue.
     """
     replaced: List[Tuple[str, FusedConvPool]] = []
     _replace_children(model, replaced, "")
-    if not replaced:
+    if not replaced and strict:
         raise ValueError(
             "no fusable conv-pool blocks found; reorder the model "
-            "(reorder_activation_pooling) and use average pooling first"
+            "(reorder_activation_pooling) and use average pooling first "
+            "(or pass strict=False to tolerate fully-unfusable models)"
         )
     return model, replaced
 
@@ -76,13 +82,15 @@ def prepare_mlcnn(model: Module, quantize_bits: int = 0) -> Module:
     changes outputs slightly (Jensen), so a *trained* original model
     should be fine-tuned after preparation; a model *trained in the
     reordered form* is unchanged by fusion.
-    """
-    from repro.core.quantize import QuantConfig, quantize_model
-    from repro.models.reorder import reorder_activation_pooling, set_pooling
 
-    set_pooling(model, "avg")
-    reorder_activation_pooling(model)
-    fuse_network(model)
-    if quantize_bits:
-        quantize_model(model, QuantConfig(quantize_bits, quantize_bits))
+    This is a thin shim over the canonical
+    :func:`repro.compiler.mlcnn_pipeline` (validation and plan caching
+    disabled, matching the historical behaviour exactly); build the
+    pipeline directly to get per-pass validation and a
+    :class:`~repro.compiler.CompileReport`.
+    """
+    from repro.compiler import CompileContext, mlcnn_pipeline
+
+    ctx = CompileContext(quant_bits=quantize_bits, validate=False, use_cache=False)
+    model, _report = mlcnn_pipeline(bits=quantize_bits).run(model, ctx)
     return model

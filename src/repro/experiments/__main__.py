@@ -5,6 +5,8 @@ Usage::
     python -m repro.experiments                # analytic + accelerator
     python -m repro.experiments --accuracy     # include training runs
     python -m repro.experiments --only table2 fig13
+    python -m repro.experiments --list         # print experiment names
+    python -m repro.experiments --pipeline lenet5 --bits 8 --report
 """
 
 from __future__ import annotations
@@ -60,12 +62,76 @@ ACCURACY_EXPERIMENTS = {
 }
 
 
+def _list_experiments() -> None:
+    print("fast (analytic + accelerator):")
+    for name in sorted(FAST_EXPERIMENTS):
+        print(f"  {name}")
+    print("accuracy (training; needs --accuracy or --only):")
+    for name in sorted(ACCURACY_EXPERIMENTS):
+        print(f"  {name}")
+
+
+def _compile_pipeline(model_name: str, bits: int, show_report: bool) -> int:
+    """Compile a zoo model through the canonical MLCNN pipeline."""
+    from repro.compiler import CompileContext, mlcnn_pipeline
+    from repro.models import MODEL_REGISTRY, build_model
+
+    if model_name not in MODEL_REGISTRY:
+        print(
+            f"unknown model {model_name!r}; available: {sorted(MODEL_REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    model = build_model(model_name)
+    # strict=False: models with no fusable ConvBlock (e.g. GoogLeNet,
+    # whose pooled stages are PooledInception) still compile cleanly.
+    _, report = mlcnn_pipeline(bits=bits, strict=False).run(
+        model, CompileContext(quant_bits=bits)
+    )
+    if report.record_for("fuse").rewrites == 0:
+        print("note: no fusable conv-pool blocks in this model")
+    if show_report:
+        report.to_experiment_report().show()
+    print(
+        f"compiled {model_name} [{report.pipeline}]: "
+        f"{report.passes_run} passes, {report.total_rewrites} rewrites, "
+        f"{1e3 * report.total_time_s:.1f} ms"
+        + (" (plan-cache hit)" if report.cached else "")
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--accuracy", action="store_true", help="also run the training experiments")
     parser.add_argument("--full", action="store_true", help="use the full training budget")
     parser.add_argument("--only", nargs="*", default=None, help="subset of experiment names")
+    parser.add_argument(
+        "--list", action="store_true", help="print available experiment names and exit"
+    )
+    parser.add_argument(
+        "--pipeline",
+        metavar="MODEL",
+        default=None,
+        help="compile a zoo model through the MLCNN pass pipeline and exit",
+    )
+    parser.add_argument(
+        "--bits", type=int, default=0, help="quantization bits for --pipeline (0 = off)"
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="with --pipeline: print the full per-pass CompileReport table",
+    )
     args = parser.parse_args(argv)
+
+    if args.list:
+        _list_experiments()
+        return 0
+    if args.bits < 0:
+        parser.error(f"--bits must be >= 0, got {args.bits}")
+    if args.pipeline is not None:
+        return _compile_pipeline(args.pipeline, args.bits, args.report)
 
     experiments = dict(FAST_EXPERIMENTS)
     if args.accuracy or (args.only and set(args.only) & set(ACCURACY_EXPERIMENTS)):
@@ -78,6 +144,7 @@ def main(argv=None) -> int:
         experiments = {k: experiments[k] for k in args.only}
 
     budget = AccuracyBudget() if args.full else FAST_BUDGET
+    suite_start = time.time()
     for name, fn in experiments.items():
         start = time.time()
         if name in ACCURACY_EXPERIMENTS:
@@ -86,6 +153,10 @@ def main(argv=None) -> int:
             report = fn()
         report.show()
         print(f"  [{name}: {time.time() - start:.1f}s]")
+    print(
+        f"\n== total: {len(experiments)} experiment(s) in "
+        f"{time.time() - suite_start:.1f}s =="
+    )
     return 0
 
 

@@ -13,7 +13,7 @@ with the training harness:
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -55,7 +55,7 @@ def set_pooling(model: Module, kind: str) -> Module:
     return model
 
 
-def to_allconv(model: Module, rng=None) -> Module:
+def to_allconv(model: Module, rng=None, seed: Optional[int] = None) -> Module:
     """Replace pooling with strided convolution (All-Conv transform [7]).
 
     For a :class:`ConvBlock`, the pool of stride ``p`` is dropped and
@@ -63,8 +63,16 @@ def to_allconv(model: Module, rng=None) -> Module:
     For a :class:`PooledInception` — whose pool follows a concat, not a
     single conv — a new stride-``p`` 3x3 convolution is appended, as in
     Springenberg et al.'s "replace pooling by a conv with stride".
+
+    Determinism: the new downsample conv weights are drawn from ``rng``
+    if given, else from ``np.random.default_rng(seed)`` (``seed``
+    defaults to 0).  Two calls with the same ``rng`` state or the same
+    ``seed`` therefore produce bit-identical models; the compiler's
+    :class:`~repro.compiler.CompileContext` threads its seeded ``rng``
+    through here so pipeline results are reproducible end to end.
     """
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = np.random.default_rng(0 if seed is None else seed)
     for block in conv_pool_blocks(model):
         if isinstance(block, ConvBlock):
             p = block.pool.stride

@@ -1,0 +1,114 @@
+"""The built-in passes: registry, applicability, idempotence."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    AllConvPass,
+    CompileContext,
+    FuseConvPoolPass,
+    QuantizePass,
+    ReorderActivationPoolingPass,
+    RestoreOrderPass,
+    SetPoolingPass,
+    available_passes,
+    get_pass,
+)
+from repro.models import build_model
+from repro.nn.tensor import Tensor, no_grad
+
+BUILTIN = ["set-pooling", "reorder", "restore-order", "to-allconv", "fuse", "quantize", "prune"]
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(BUILTIN) <= set(available_passes())
+
+    def test_get_pass_builds_instances(self):
+        p = get_pass("quantize", bits=4)
+        assert isinstance(p, QuantizePass)
+        assert p.bits == 4
+
+    def test_unknown_pass_raises(self):
+        with pytest.raises(KeyError):
+            get_pass("constant-folding")
+
+    def test_signatures_encode_config(self):
+        assert SetPoolingPass("avg").signature() == "set-pooling(avg)"
+        assert FuseConvPoolPass(strict=False).signature() == "fuse(strict=False)"
+        assert QuantizePass(8).signature() == "quantize(8)"
+
+
+class TestIdempotence:
+    """Running the same pass twice is a no-op (zero rewrites)."""
+
+    def test_set_pooling_second_run_is_noop(self):
+        model = build_model("lenet5", pooling="max")
+        ctx = CompileContext()
+        p = SetPoolingPass("avg")
+        assert p.run(model, ctx).rewrites == 2
+        assert p.run(model, ctx).rewrites == 0
+
+    def test_reorder_second_run_is_noop(self):
+        model = build_model("lenet5")
+        ctx = CompileContext()
+        p = ReorderActivationPoolingPass()
+        assert p.run(model, ctx).rewrites == 2
+        assert not p.applies_to(model)
+        assert p.run(model, ctx).rewrites == 0
+
+    def test_restore_second_run_is_noop(self):
+        model = build_model("lenet5", order="pool_act")
+        ctx = CompileContext()
+        p = RestoreOrderPass()
+        assert p.run(model, ctx).rewrites == 2
+        assert p.run(model, ctx).rewrites == 0
+
+    def test_fuse_nonstrict_second_run_is_noop(self):
+        model = build_model("lenet5", order="pool_act")
+        ctx = CompileContext()
+        p = FuseConvPoolPass(strict=False)
+        assert p.run(model, ctx).rewrites == 2
+        assert p.run(model, ctx).rewrites == 0
+
+    def test_quantize_not_applicable_twice(self):
+        model = build_model("lenet5")
+        ctx = CompileContext()
+        p = QuantizePass(8)
+        assert p.applies_to(model)
+        assert p.run(model, ctx).rewrites > 0
+        assert not p.applies_to(model)  # no double-wrapping
+
+
+class TestFuseStrictness:
+    def test_strict_raises_on_unfusable(self):
+        model = build_model("vgg16", width_mult=0.125)  # still ReLU+AP
+        with pytest.raises(ValueError):
+            FuseConvPoolPass(strict=True).run(model, CompileContext())
+
+    def test_nonstrict_tolerates_unfusable(self):
+        model = build_model("vgg16", width_mult=0.125)
+        result = FuseConvPoolPass(strict=False).run(model, CompileContext())
+        assert result.rewrites == 0
+
+
+class TestAllConvDeterminism:
+    def test_same_seed_identical_downsample_weights(self):
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 3, 32, 32)))
+        outs = []
+        for _ in range(2):
+            model = build_model("googlenet", width_mult=0.25, seed=5)
+            AllConvPass().run(model, CompileContext(seed=11))
+            with no_grad():
+                outs.append(model(x).data)
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_different_seed_differs(self):
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 3, 32, 32)))
+        outs = []
+        for seed in (11, 12):
+            model = build_model("googlenet", width_mult=0.25, seed=5)
+            AllConvPass().run(model, CompileContext(seed=seed))
+            with no_grad():
+                outs.append(model(x).data)
+        assert not np.allclose(outs[0], outs[1])

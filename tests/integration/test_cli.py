@@ -21,3 +21,25 @@ class TestExperimentsCLI:
         # the tiniest possible check by just validating name resolution
         with pytest.raises(SystemExit):
             main(["--only", "not-an-experiment", "--accuracy"])
+
+    def test_list_prints_names_and_exits(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig13" in out
+        assert "fig3" in out  # accuracy experiments listed too
+        assert "Table II" not in out  # nothing actually ran
+
+    def test_total_time_summary_printed(self, capsys):
+        assert main(["--only", "limits"]) == 0
+        out = capsys.readouterr().out
+        assert "== total: 1 experiment(s) in" in out
+
+    def test_pipeline_flag_compiles_model(self, capsys):
+        assert main(["--pipeline", "lenet5", "--bits", "8", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled lenet5" in out
+        assert "== Compile:" in out  # --report prints the per-pass table
+        assert "fuse" in out and "quantize" in out
+
+    def test_pipeline_unknown_model_errors(self, capsys):
+        assert main(["--pipeline", "not-a-model"]) == 2

@@ -1,0 +1,73 @@
+"""Transform round-trips: reorder → restore is exact, twice is a no-op."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    build_model,
+    conv_pool_blocks,
+    reorder_activation_pooling,
+    restore_original_order,
+    to_allconv,
+)
+from repro.nn.tensor import Tensor, no_grad
+
+SMALL = {"lenet5": 1.0, "vgg16": 0.125, "googlenet": 0.25, "resnet18": 0.125}
+
+
+@pytest.fixture
+def x32():
+    return Tensor(np.random.default_rng(17).normal(size=(2, 3, 32, 32)))
+
+
+class TestReorderRoundTrip:
+    @pytest.mark.parametrize("name", sorted(SMALL))
+    def test_restore_recovers_outputs_exactly(self, name, x32):
+        model = build_model(name, width_mult=SMALL[name], seed=3)
+        with no_grad():
+            before = model(x32).data
+        reorder_activation_pooling(model)
+        restore_original_order(model)
+        with no_grad():
+            after = model(x32).data
+        # identical graph, identical float ops: bitwise equality
+        np.testing.assert_array_equal(before, after)
+
+    def test_reorder_twice_equals_once(self, x32):
+        model = build_model("lenet5", seed=3)
+        reorder_activation_pooling(model)
+        with no_grad():
+            once = model(x32).data
+        reorder_activation_pooling(model)
+        with no_grad():
+            twice = model(x32).data
+        np.testing.assert_array_equal(once, twice)
+        assert all(b.order == "pool_act" for b in conv_pool_blocks(model))
+
+
+class TestAllConvDeterminism:
+    def test_explicit_seed_reproducible(self, x32):
+        outs = []
+        for _ in range(2):
+            model = build_model("googlenet", width_mult=0.25, seed=5)
+            to_allconv(model, seed=42)
+            with no_grad():
+                outs.append(model(x32).data)
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_explicit_rng_reproducible(self, x32):
+        outs = []
+        for _ in range(2):
+            model = build_model("googlenet", width_mult=0.25, seed=5)
+            to_allconv(model, rng=np.random.default_rng(7))
+            with no_grad():
+                outs.append(model(x32).data)
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_default_matches_seed_zero(self, x32):
+        a = build_model("googlenet", width_mult=0.25, seed=5)
+        b = build_model("googlenet", width_mult=0.25, seed=5)
+        to_allconv(a)
+        to_allconv(b, seed=0)
+        with no_grad():
+            np.testing.assert_array_equal(a(x32).data, b(x32).data)

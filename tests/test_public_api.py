@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.train",
     "repro.models",
     "repro.core",
+    "repro.compiler",
     "repro.accel",
     "repro.analysis",
     "repro.experiments",
