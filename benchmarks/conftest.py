@@ -8,13 +8,49 @@ it next to the paper's reference values.  Run with::
 Accuracy benchmarks (Figs. 3, 4, 12) train models; by default they use
 a fast budget (a few minutes total).  Set ``REPRO_FULL=1`` for the full
 budget used in EXPERIMENTS.md.
+
+Trend tracking: pass ``--metrics-jsonl PATH`` and benches that use the
+``record_metric`` fixture append one JSON object per headline number
+(per-figure speedup, FLOP reduction, energy efficiency, ...), so CI can
+diff the series across PRs::
+
+    pytest benchmarks/ --metrics-jsonl metrics.jsonl
 """
 
+import json
 import os
 
 import pytest
 
 from repro.experiments.accuracy import FAST_BUDGET, AccuracyBudget
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics-jsonl",
+        default=None,
+        metavar="PATH",
+        help="append per-figure benchmark metrics to PATH as JSON lines",
+    )
+
+
+@pytest.fixture
+def record_metric(request):
+    """Emit ``{"figure", "metric", "value", ...}`` JSONL rows.
+
+    No-op unless the run passed ``--metrics-jsonl``; benches call it
+    unconditionally.
+    """
+    path = request.config.getoption("--metrics-jsonl")
+
+    def _record(figure: str, metric: str, value: float, **extra) -> None:
+        if not path:
+            return
+        row = {"figure": figure, "metric": metric, "value": float(value), **extra}
+        with open(path, "a") as fh:
+            fh.write(json.dumps(row) + "\n")
+
+    return _record
 
 
 def full_run() -> bool:

@@ -14,7 +14,7 @@ from repro.experiments.accelerator import EVALUATED_MODELS, _fused_layer_metrics
 from repro.models import specs
 
 
-def test_fig13_speedup(benchmark):
+def test_fig13_speedup(benchmark, record_metric):
     report = benchmark.pedantic(fig13_speedup, rounds=1, iterations=1)
     report.show()
 
@@ -24,6 +24,7 @@ def test_fig13_speedup(benchmark):
         for model in EVALUATED_MODELS:
             vals += [m[0] for m in _fused_layer_metrics(model, cand).values()]
         averages[cand] = np.mean(vals)
+        record_metric("fig13", "speedup", averages[cand], config=cand)
 
     # who wins and by roughly what factor
     assert 2.5 <= averages["mlcnn-fp32"] <= 6.0      # paper: 3.2x

@@ -19,11 +19,19 @@ def _reductions(model):
     return rows
 
 
-def test_fig14_flops_reduction(benchmark):
+def test_fig14_flops_reduction(benchmark, record_metric):
     report = benchmark.pedantic(fig14_flops_reduction, rounds=1, iterations=1)
     report.show()
 
     # RME: 75% for 2x2 pools, ~98% for the 8x8 stage
+    for model in ("lenet5", "vgg16", "densenet", "googlenet"):
+        rows = _reductions(model)
+        record_metric(
+            "fig14",
+            "mult_reduction",
+            np.mean([r["mult_reduction"] for r in rows]),
+            model=model,
+        )
     for model in ("lenet5", "vgg16", "densenet"):
         for row in _reductions(model):
             assert abs(row["mult_reduction"] - 0.75) < 0.02, (model, row["layer"])

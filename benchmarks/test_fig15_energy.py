@@ -14,7 +14,7 @@ from repro.experiments.accelerator import EVALUATED_MODELS, _fused_layer_metrics
 from repro.models import specs
 
 
-def test_fig15_energy(benchmark):
+def test_fig15_energy(benchmark, record_metric):
     report = benchmark.pedantic(fig15_energy, rounds=1, iterations=1)
     report.show()
 
@@ -24,6 +24,7 @@ def test_fig15_energy(benchmark):
         for model in EVALUATED_MODELS:
             vals += [m[1] for m in _fused_layer_metrics(model, cand).values()]
         averages[cand] = np.mean(vals)
+        record_metric("fig15", "energy_efficiency", averages[cand], config=cand)
 
     assert 2.0 <= averages["mlcnn-fp32"] <= 5.0    # paper: 2.9x
     assert 4.0 <= averages["mlcnn-fp16"] <= 10.0   # paper: 5.9x

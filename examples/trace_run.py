@@ -1,0 +1,69 @@
+"""End-to-end trace: compile + run + simulate a zoo model, export a trace.
+
+Enables the process-wide :mod:`repro.obs` tracer, then does one of
+everything the tracer instruments:
+
+1. compiles the model through the MLCNN pass pipeline (compiler-pass
+   spans),
+2. instruments every layer and runs a forward pass (nested per-module
+   ``*.forward`` spans),
+3. runs the accelerator simulator over the model's layer specs
+   (``sim.network`` span + per-layer ``sim.layer`` attribution events),
+
+and writes the unified timeline as a Chrome trace — open the file in
+``chrome://tracing`` or https://ui.perfetto.dev — plus a top-N summary
+on stdout.
+
+Run::
+
+    PYTHONPATH=src python examples/trace_run.py --model lenet5 --out trace.json
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import CompileContext, build_model, mlcnn_pipeline, obs
+from repro.accel import get_config, simulate_network
+from repro.models import specs as model_specs
+from repro.nn.tensor import Tensor, no_grad
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="lenet5", help="zoo model name")
+    parser.add_argument("--out", default="trace.json", help="Chrome trace output path")
+    parser.add_argument("--bits", type=int, default=8, help="quantization bits (0 = off)")
+    args = parser.parse_args()
+
+    tracer = obs.get_tracer()
+    tracer.clear()
+    tracer.enable()
+
+    # 1. compile: every pass records a compile.pass.<name> span
+    model = build_model(args.model)
+    ctx = CompileContext(quant_bits=args.bits)
+    model, report = mlcnn_pipeline(bits=args.bits, strict=False).run(model, ctx)
+    print(f"compiled {args.model}: {report.passes_run} passes, "
+          f"{report.total_rewrites} rewrites")
+
+    # 2. instrumented forward: one span per module, nested by call tree
+    obs.instrument_model(model, prefix=args.model)
+    model.eval()
+    with no_grad():
+        model(Tensor(np.random.default_rng(0).normal(size=(2, 3, 32, 32))))
+
+    # 3. simulate: per-layer cycle/energy attribution events
+    result = simulate_network(model_specs.get_specs(args.model), get_config("mlcnn-fp32"))
+    print(f"simulated {len(result.layers)} layers: "
+          f"{result.cycles:.3g} cycles, {result.energy.total_j:.3g} J")
+
+    tracer.disable()
+    n = obs.write_chrome_trace(args.out, tracer)
+    print(f"wrote {n} events to {args.out} (open in chrome://tracing)")
+    print()
+    print(obs.summary(tracer, top=10))
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,9 @@ Applications* (IPDPS 2022):
 * :mod:`repro.accel` — accelerator cycle/energy/area model and the
   RTL-level AR-unit/MAC-slice micro-simulator.
 * :mod:`repro.analysis` — FLOP audits and report formatting.
+* :mod:`repro.obs` — observability: process-wide tracer (spans,
+  counters, histograms), per-layer model instrumentation, JSONL /
+  Chrome-trace / summary exporters.
 
 Quickstart::
 

@@ -31,6 +31,35 @@ from repro.accel.energy import ENERGY_45NM, EnergyBreakdown, dynamic_energy, sta
 from repro.accel.tiling import TilingPlan, dram_traffic, plan_tiling
 from repro.core.opcount import LayerOps, dcnn_layer_ops, mlcnn_layer_ops
 from repro.models.specs import LayerSpec
+from repro.obs.tracer import get_tracer
+
+
+def _emit_layer_event(result: "LayerResult", config: AcceleratorConfig) -> None:
+    """Per-layer compute/memory/energy attribution as a structured event."""
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return
+    e = result.energy
+    tracer.event(
+        "sim.layer",
+        category="accel",
+        layer=result.name,
+        config=config.name,
+        fused=result.fused,
+        cycles=result.cycles,
+        compute_cycles=result.compute_cycles,
+        memory_cycles=result.memory_cycles,
+        bound="compute" if result.compute_cycles >= result.memory_cycles else "memory",
+        multiplications=result.ops.multiplications,
+        additions=result.ops.additions,
+        preprocessing_additions=result.ops.preprocessing_additions,
+        dram_bytes=result.dram_bytes,
+        buffer_accesses=result.buffer_accesses,
+        energy_total_j=e.total_j,
+        energy_dram_j=e.dram_j,
+        energy_buffer_j=e.buffer_j,
+        energy_mac_j=e.mac_j,
+    )
 
 #: cycles to fill the 3-stage multiplier pipeline per tile pass
 PIPELINE_FILL_CYCLES = 3
@@ -200,19 +229,23 @@ def simulate_network(
     """
     result = NetworkResult(config)
     spec_list = list(specs)
-    for i, spec in enumerate(spec_list):
-        next_fused = (
-            config.fused and i + 1 < len(spec_list) and spec_list[i + 1].is_fusable
-        )
-        result.layers.append(
-            simulate_layer(
+    with get_tracer().span(
+        "sim.network", category="accel", config=config.name, layers=len(spec_list)
+    ) as sp:
+        for i, spec in enumerate(spec_list):
+            next_fused = (
+                config.fused and i + 1 < len(spec_list) and spec_list[i + 1].is_fusable
+            )
+            layer_result = simulate_layer(
                 spec,
                 config,
                 input_preprocessed=config.fused and i > 0,
                 output_preprocessed=next_fused,
                 batch=batch,
             )
-        )
+            result.layers.append(layer_result)
+            _emit_layer_event(layer_result, config)
+        sp.set(cycles=result.cycles, energy_j=result.energy.total_j)
     return result
 
 
@@ -250,10 +283,13 @@ def compare_networks(
     candidate: AcceleratorConfig,
 ) -> Comparison:
     """Run both configurations over ``specs`` and compare."""
-    return Comparison(
-        baseline=simulate_network(specs, baseline),
-        candidate=simulate_network(specs, candidate),
-    )
+    with get_tracer().span(
+        "sim.compare", category="accel", baseline=baseline.name, candidate=candidate.name
+    ):
+        return Comparison(
+            baseline=simulate_network(specs, baseline),
+            candidate=simulate_network(specs, candidate),
+        )
 
 
 def simulate_network_layer_fused(
@@ -299,18 +335,18 @@ def simulate_network_layer_fused(
             dram_bytes,
         )
         energy.static_j = static_energy(table, cycles / config.frequency_hz)
-        result.layers.append(
-            LayerResult(
-                name=spec.name,
-                fused=False,
-                cycles=cycles,
-                compute_cycles=base.compute_cycles,
-                memory_cycles=memory_cycles,
-                ops=base.ops,
-                dram_bytes=dram_bytes,
-                buffer_accesses=base.buffer_accesses,
-                energy=energy,
-                tiling=base.tiling,
-            )
+        layer_result = LayerResult(
+            name=spec.name,
+            fused=False,
+            cycles=cycles,
+            compute_cycles=base.compute_cycles,
+            memory_cycles=memory_cycles,
+            ops=base.ops,
+            dram_bytes=dram_bytes,
+            buffer_accesses=base.buffer_accesses,
+            energy=energy,
+            tiling=base.tiling,
         )
+        result.layers.append(layer_result)
+        _emit_layer_event(layer_result, config)
     return result

@@ -31,6 +31,7 @@ import numpy as np
 from repro.compiler.context import CompileContext, PassResult, PassValidationError
 from repro.compiler.pass_base import Pass, get_pass
 from repro.nn.layers import Module
+from repro.obs.tracer import get_tracer
 
 
 @dataclass
@@ -152,6 +153,7 @@ class Pipeline:
         from repro.compiler.cache import PLAN_CACHE, architecture_signature
 
         ctx = ctx or CompileContext()
+        tracer = get_tracer()
         t0 = time.perf_counter()
         signature = architecture_signature(model)
         cache_key = (signature, self.spec(), ctx.cache_key())
@@ -161,61 +163,79 @@ class Pipeline:
         report = CompileReport(
             pipeline=self.spec(), signature=signature, cached=cached, validated=validate
         )
-        probe, out_before, macs_before = None, None, None
-        if validate:
-            probe = ctx.probe_batch()
-            out_before, macs_before = self._try_probe(model, probe, report)
-            if out_before is None:
-                probe = None  # model rejects the probe batch: skip functional checks
-
-        for p in self.passes:
-            if not p.applies_to(model):
-                report.records.append(PassRecord(p.name, ran=False, notes="not applicable"))
-                continue
-            params_before = model.num_parameters() if validate else None
-            t_pass = time.perf_counter()
-            result: PassResult = p.run(model, ctx)
-            wall = time.perf_counter() - t_pass
-            record = PassRecord(
-                p.name,
-                ran=True,
-                wall_time_s=wall,
-                rewrites=result.rewrites,
-                params_before=params_before,
-                macs_before=macs_before,
-            )
+        with tracer.span(
+            "compile.pipeline",
+            category="compiler",
+            pipeline=self.name,
+            signature=signature[:12],
+            cached=cached,
+        ) as pipe_span:
+            probe, out_before, macs_before = None, None, None
             if validate:
-                record.params_after = model.num_parameters()
-                if p.preserves_params and record.params_after != params_before:
-                    raise PassValidationError(
-                        f"pass {p.name!r} declares parameter invariance but changed "
-                        f"num_parameters from {params_before} to {record.params_after}"
-                    )
-                if probe is not None:
-                    out_after, macs_after = self._try_probe(model, probe, report)
-                    if out_after is None:
-                        probe = None  # stop functional checks from here on
-                    else:
-                        record.macs_after = macs_after
-                        if out_before is not None and out_after.shape == out_before.shape:
-                            record.probe_max_dev = float(
-                                np.max(np.abs(out_after - out_before))
-                            )
-                        if p.preserves_semantics and out_before is not None:
-                            if (
-                                out_after.shape != out_before.shape
-                                or not np.allclose(out_after, out_before, atol=ctx.atol)
-                            ):
-                                raise PassValidationError(
-                                    f"pass {p.name!r} declares semantics preservation "
-                                    f"but changed the probe output "
-                                    f"(max dev {record.probe_max_dev})"
-                                )
-                        out_before, macs_before = out_after, macs_after
-                record.validated = True
-            report.records.append(record)
+                probe = ctx.probe_batch()
+                with tracer.span("compile.probe", category="compiler"):
+                    out_before, macs_before = self._try_probe(model, probe, report)
+                if out_before is None:
+                    probe = None  # model rejects the probe batch: skip functional checks
 
-        report.total_time_s = time.perf_counter() - t0
+            for p in self.passes:
+                if not p.applies_to(model):
+                    report.records.append(
+                        PassRecord(p.name, ran=False, notes="not applicable")
+                    )
+                    continue
+                params_before = model.num_parameters() if validate else None
+                t_pass = time.perf_counter()
+                with tracer.span(f"compile.pass.{p.name}", category="compiler") as pspan:
+                    result: PassResult = p.run(model, ctx)
+                    pspan.set(rewrites=result.rewrites)
+                wall = time.perf_counter() - t_pass
+                record = PassRecord(
+                    p.name,
+                    ran=True,
+                    wall_time_s=wall,
+                    rewrites=result.rewrites,
+                    params_before=params_before,
+                    macs_before=macs_before,
+                )
+                if validate:
+                    record.params_after = model.num_parameters()
+                    if p.preserves_params and record.params_after != params_before:
+                        raise PassValidationError(
+                            f"pass {p.name!r} declares parameter invariance but changed "
+                            f"num_parameters from {params_before} to {record.params_after}"
+                        )
+                    if probe is not None:
+                        with tracer.span("compile.probe", category="compiler"):
+                            out_after, macs_after = self._try_probe(model, probe, report)
+                        if out_after is None:
+                            probe = None  # stop functional checks from here on
+                        else:
+                            record.macs_after = macs_after
+                            if out_before is not None and out_after.shape == out_before.shape:
+                                record.probe_max_dev = float(
+                                    np.max(np.abs(out_after - out_before))
+                                )
+                            if p.preserves_semantics and out_before is not None:
+                                if (
+                                    out_after.shape != out_before.shape
+                                    or not np.allclose(out_after, out_before, atol=ctx.atol)
+                                ):
+                                    raise PassValidationError(
+                                        f"pass {p.name!r} declares semantics preservation "
+                                        f"but changed the probe output "
+                                        f"(max dev {record.probe_max_dev})"
+                                    )
+                            out_before, macs_before = out_after, macs_after
+                    record.validated = True
+                report.records.append(record)
+
+            report.total_time_s = time.perf_counter() - t0
+            pipe_span.set(
+                passes_run=report.passes_run,
+                rewrites=report.total_rewrites,
+                validated=validate,
+            )
         if validate and ctx.use_cache:
             PLAN_CACHE.add(cache_key)
         return model, report

@@ -7,13 +7,24 @@ Usage::
     python -m repro.experiments --only table2 fig13
     python -m repro.experiments --list         # print experiment names
     python -m repro.experiments --pipeline lenet5 --bits 8 --report
+    python -m repro.experiments --pipeline lenet5 --trace out.json \\
+        --trace-format chrome      # unified compile/forward/simulate trace
+    python -m repro.experiments --only fig13 --trace-summary
+
+``--trace`` enables the process-wide tracer (:mod:`repro.obs`) for the
+whole run and writes the collected spans/events to the given path —
+JSONL by default, or the Chrome trace-event format with
+``--trace-format chrome`` (open in ``chrome://tracing`` or Perfetto).
+``--trace-summary`` prints the top-N-spans table after the run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
+from time import perf_counter
+
+from repro import obs
 
 from repro.experiments import (
     ablation_reuse,
@@ -71,6 +82,30 @@ def _list_experiments() -> None:
         print(f"  {name}")
 
 
+def _trace_model_extras(model_name: str, model, ctx) -> None:
+    """With tracing on, add per-layer forward spans and simulator events.
+
+    Makes one ``--pipeline`` run produce the full unified timeline:
+    compiler passes (already traced by :class:`Pipeline`), a per-layer
+    instrumented forward on the probe batch, and the accelerator
+    simulator's per-layer attribution for the model's specs.
+    """
+    from repro.nn.tensor import Tensor, no_grad
+
+    obs.instrument_model(model, prefix=model_name)
+    model.eval()
+    with no_grad():
+        model(Tensor(ctx.probe_batch()))
+    try:
+        from repro.accel import get_config, simulate_network
+        from repro.models import specs as model_specs
+
+        layer_specs = model_specs.get_specs(model_name)
+    except (KeyError, ValueError):
+        return  # no analytic layer specs for this model; skip simulation
+    simulate_network(layer_specs, get_config("mlcnn-fp32"))
+
+
 def _compile_pipeline(model_name: str, bits: int, show_report: bool) -> int:
     """Compile a zoo model through the canonical MLCNN pipeline."""
     from repro.compiler import CompileContext, mlcnn_pipeline
@@ -83,11 +118,10 @@ def _compile_pipeline(model_name: str, bits: int, show_report: bool) -> int:
         )
         return 2
     model = build_model(model_name)
+    ctx = CompileContext(quant_bits=bits)
     # strict=False: models with no fusable ConvBlock (e.g. GoogLeNet,
     # whose pooled stages are PooledInception) still compile cleanly.
-    _, report = mlcnn_pipeline(bits=bits, strict=False).run(
-        model, CompileContext(quant_bits=bits)
-    )
+    _, report = mlcnn_pipeline(bits=bits, strict=False).run(model, ctx)
     if report.record_for("fuse").rewrites == 0:
         print("note: no fusable conv-pool blocks in this model")
     if show_report:
@@ -98,6 +132,8 @@ def _compile_pipeline(model_name: str, bits: int, show_report: bool) -> int:
         f"{1e3 * report.total_time_s:.1f} ms"
         + (" (plan-cache hit)" if report.cached else "")
     )
+    if obs.get_tracer().enabled:
+        _trace_model_extras(model_name, model, ctx)
     return 0
 
 
@@ -123,6 +159,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="with --pipeline: print the full per-pass CompileReport table",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="enable the repro.obs tracer and write the trace to PATH",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="trace file format: JSONL event log or Chrome trace-event JSON",
+    )
+    parser.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="print the top-N-spans summary table after the run",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -130,9 +183,31 @@ def main(argv=None) -> int:
         return 0
     if args.bits < 0:
         parser.error(f"--bits must be >= 0, got {args.bits}")
-    if args.pipeline is not None:
-        return _compile_pipeline(args.pipeline, args.bits, args.report)
 
+    tracer = obs.get_tracer()
+    tracing = bool(args.trace or args.trace_summary)
+    if tracing:
+        tracer.clear()
+        tracer.enable()
+    try:
+        if args.pipeline is not None:
+            return _compile_pipeline(args.pipeline, args.bits, args.report)
+        return _run_suite(parser, args)
+    finally:
+        if tracing:
+            tracer.disable()
+            if args.trace:
+                if args.trace_format == "chrome":
+                    n = obs.write_chrome_trace(args.trace, tracer)
+                else:
+                    n = obs.write_jsonl(args.trace, tracer)
+                print(f"trace: {n} event(s) -> {args.trace} [{args.trace_format}]")
+            if args.trace_summary:
+                print("\n" + obs.summary(tracer))
+
+
+def _run_suite(parser: argparse.ArgumentParser, args) -> int:
+    """Run the selected experiment set, timing each one."""
     experiments = dict(FAST_EXPERIMENTS)
     if args.accuracy or (args.only and set(args.only) & set(ACCURACY_EXPERIMENTS)):
         experiments.update(ACCURACY_EXPERIMENTS)
@@ -144,18 +219,23 @@ def main(argv=None) -> int:
         experiments = {k: experiments[k] for k in args.only}
 
     budget = AccuracyBudget() if args.full else FAST_BUDGET
-    suite_start = time.time()
-    for name, fn in experiments.items():
-        start = time.time()
-        if name in ACCURACY_EXPERIMENTS:
-            report = fn(budget=budget)
-        else:
-            report = fn()
-        report.show()
-        print(f"  [{name}: {time.time() - start:.1f}s]")
+    tracer = obs.get_tracer()
+    suite_start = perf_counter()
+    with tracer.span("experiments.suite", category="experiments", count=len(experiments)):
+        for name, fn in experiments.items():
+            start = perf_counter()
+            with tracer.span(f"experiment.{name}", category="experiments"):
+                if name in ACCURACY_EXPERIMENTS:
+                    report = fn(budget=budget)
+                else:
+                    report = fn()
+            report.show()
+            wall = perf_counter() - start
+            tracer.observe("experiment.wall_s", wall)
+            print(f"  [{name}: {wall:.1f}s]")
     print(
         f"\n== total: {len(experiments)} experiment(s) in "
-        f"{time.time() - suite_start:.1f}s =="
+        f"{perf_counter() - suite_start:.1f}s =="
     )
     return 0
 

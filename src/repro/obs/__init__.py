@@ -1,0 +1,58 @@
+"""Observability: spans, metrics and trace export for every subsystem.
+
+One process-wide :class:`Tracer` (disabled by default, near-zero
+overhead while off) that the compiler pipeline, the nn layers (via
+:func:`instrument_model`), the :class:`~repro.train.Trainer` and the
+accelerator simulator all report into, so a single run yields a single
+unified timeline.  Export it three ways::
+
+    from repro import obs
+
+    obs.get_tracer().enable()
+    ...                                   # compile / train / simulate
+    obs.write_chrome_trace("trace.json")  # open in chrome://tracing
+    obs.write_jsonl("trace.jsonl")        # greppable event log
+    print(obs.summary())                  # top-N spans table
+
+or from the CLI::
+
+    python -m repro.experiments --pipeline lenet5 --trace out.json \\
+        --trace-format chrome
+"""
+
+from repro.obs.export import (
+    summary,
+    summary_report,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.instrument import deinstrument_model, instrument_model
+from repro.obs.tracer import (
+    SpanEvent,
+    Tracer,
+    add,
+    event,
+    get_tracer,
+    observe,
+    span,
+)
+
+__all__ = [
+    "SpanEvent",
+    "Tracer",
+    "add",
+    "deinstrument_model",
+    "event",
+    "get_tracer",
+    "instrument_model",
+    "observe",
+    "span",
+    "summary",
+    "summary_report",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

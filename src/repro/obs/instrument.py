@@ -1,0 +1,93 @@
+"""Opt-in per-layer tracing for :class:`repro.nn.layers.Module` trees.
+
+:func:`instrument_model` walks ``named_modules()`` and wraps every
+module's ``forward`` with a tracer span — no layer code changes, works
+on any zoo model.  Container modules (``Sequential`` etc.) get a
+``<name>.forward`` span that *encloses* their children's spans, so the
+exported trace shows the model's call tree as nested slices.
+
+Leaf modules additionally get backward attribution: the autograd
+closure (``Tensor._backward``) their forward produced is wrapped so the
+reverse pass records ``<name>.backward`` spans.  (For the layers in
+:mod:`repro.nn`, that closure performs essentially all of the layer's
+backward arithmetic.)
+
+The wrappers check ``tracer.enabled`` first and delegate straight to
+the original ``forward`` when tracing is off, keeping an instrumented
+model usable on the hot path; :func:`deinstrument_model` removes the
+wrappers entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+from repro.obs.tracer import Tracer, get_tracer
+
+__all__ = ["instrument_model", "deinstrument_model"]
+
+#: attribute stashing the original forward on instrumented modules
+_ORIG_ATTR = "_obs_orig_forward"
+
+
+def _wrap_backward(out: Tensor, label: str, tracer: Tracer) -> None:
+    orig_bw = out._backward
+
+    def traced_backward(grad) -> None:
+        if not tracer.enabled:
+            return orig_bw(grad)
+        with tracer.span(label + ".backward", category="nn"):
+            orig_bw(grad)
+
+    out._backward = traced_backward
+
+
+def _wrap_forward(mod: Module, label: str, tracer: Tracer) -> None:
+    orig = mod.forward
+    is_leaf = not mod._modules
+    cls_name = type(mod).__name__
+
+    def traced_forward(*args, **kwargs):
+        if not tracer.enabled:
+            return orig(*args, **kwargs)
+        with tracer.span(label + ".forward", category="nn", cls=cls_name):
+            out = orig(*args, **kwargs)
+        if is_leaf and isinstance(out, Tensor) and out._backward is not None:
+            _wrap_backward(out, label, tracer)
+        return out
+
+    object.__setattr__(mod, _ORIG_ATTR, orig)
+    object.__setattr__(mod, "forward", traced_forward)
+
+
+def instrument_model(
+    model: Module, tracer: Optional[Tracer] = None, prefix: str = ""
+) -> Module:
+    """Attach forward/backward spans to every module of ``model``.
+
+    Span names are the dotted module paths from ``named_modules()``
+    (``features.0.forward`` …), optionally under ``prefix``.  The root
+    module's span is ``prefix`` itself, or the lowercased class name
+    when no prefix is given.  Idempotent: already-instrumented modules
+    are left alone.  Returns ``model``.
+    """
+    tracer = tracer or get_tracer()
+    for name, mod in model.named_modules():
+        if getattr(mod, _ORIG_ATTR, None) is not None:
+            continue
+        label = ".".join(p for p in (prefix, name) if p) or type(mod).__name__.lower()
+        _wrap_forward(mod, label, tracer)
+    return model
+
+
+def deinstrument_model(model: Module) -> Module:
+    """Remove the wrappers installed by :func:`instrument_model`."""
+    for _, mod in model.named_modules():
+        orig = getattr(mod, _ORIG_ATTR, None)
+        if orig is not None:
+            if "forward" in mod.__dict__:
+                del mod.__dict__["forward"]
+            del mod.__dict__[_ORIG_ATTR]
+    return model

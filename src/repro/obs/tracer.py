@@ -1,0 +1,266 @@
+"""Process-wide tracer: nested spans, counters, histograms.
+
+One :class:`Tracer` collects every timing signal a run produces —
+compiler passes, per-layer forwards, training epochs, simulator layer
+attributions — into a single ordered event list that the exporters in
+:mod:`repro.obs.export` turn into JSONL, a Chrome trace, or a top-N
+summary table.
+
+Design constraints:
+
+* **Near-zero overhead when disabled.**  ``tracer.span(...)`` on a
+  disabled tracer returns a shared no-op context manager without
+  recording anything; instrumented code paths check ``tracer.enabled``
+  before doing any per-call work.  The overhead guard in
+  ``tests/obs/test_overhead.py`` keeps this honest.
+* **Thread safety.**  Each thread keeps its own span stack (nesting and
+  parent attribution are per-thread); the shared event list, counters
+  and histograms are guarded by one lock.
+* **Exception safety.**  A span closes (and is recorded, tagged with
+  the exception type) even when the body raises.
+
+Timestamps come from :func:`time.perf_counter` (monotonic) and are
+stored as microseconds since the tracer's epoch, which is exactly the
+``ts`` unit the Chrome trace-event format expects.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SpanEvent", "Tracer", "get_tracer", "span", "event", "add", "observe"]
+
+
+@dataclass
+class SpanEvent:
+    """One completed span (``dur_us`` set) or instant event (``None``)."""
+
+    name: str
+    ts_us: float
+    dur_us: Optional[float]
+    tid: int
+    depth: int
+    parent: Optional[str]
+    category: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_span(self) -> bool:
+        return self.dur_us is not None
+
+
+class _NullSpan:
+    """Shared no-op returned by ``span()`` on a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live span context manager; records itself on exit."""
+
+    __slots__ = ("_tracer", "name", "category", "attrs", "_start_s", "_depth", "_parent")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+
+    def set(self, **attrs) -> "_Span":
+        """Attach attributes discovered mid-span (e.g. rewrite counts)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        self._depth = len(stack)
+        self._parent = stack[-1].name if stack else None
+        stack.append(self)
+        self._start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_s = time.perf_counter()
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._record(
+            SpanEvent(
+                name=self.name,
+                ts_us=(self._start_s - self._tracer._epoch_s) * 1e6,
+                dur_us=(end_s - self._start_s) * 1e6,
+                tid=threading.get_ident(),
+                depth=self._depth,
+                parent=self._parent,
+                category=self.category,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans, instant events, counters and histogram samples."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._events: List[SpanEvent] = []
+        self._counters: Dict[str, float] = {}
+        self._histograms: Dict[str, List[float]] = {}
+        self._epoch_s = time.perf_counter()
+
+    # -- state ---------------------------------------------------------------
+    def enable(self) -> "Tracer":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Tracer":
+        self.enabled = False
+        return self
+
+    def clear(self) -> None:
+        """Drop all recorded events/counters and reset the epoch."""
+        with self._lock:
+            self._events = []
+            self._counters = {}
+            self._histograms = {}
+            self._epoch_s = time.perf_counter()
+
+    # -- recording -----------------------------------------------------------
+    def span(self, name: str, category: str = "", **attrs):
+        """Context manager timing a region; no-op when disabled.
+
+        Usage::
+
+            with tracer.span("conv1.forward", bytes=n) as sp:
+                ...
+                sp.set(rewrites=3)   # attach results discovered mid-span
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, category, attrs)
+
+    def event(self, name: str, category: str = "", **attrs) -> None:
+        """Record an instant (zero-duration) structured event."""
+        if not self.enabled:
+            return
+        stack = self._stack()
+        self._record(
+            SpanEvent(
+                name=name,
+                ts_us=(time.perf_counter() - self._epoch_s) * 1e6,
+                dur_us=None,
+                tid=threading.get_ident(),
+                depth=len(stack),
+                parent=stack[-1].name if stack else None,
+                category=category,
+                attrs=attrs,
+            )
+        )
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Increment counter ``name`` by ``value``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram ``name``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._histograms.setdefault(name, []).append(float(value))
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def events(self) -> List[SpanEvent]:
+        """Snapshot of all recorded events, in completion order."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    @property
+    def histograms(self) -> Dict[str, List[float]]:
+        with self._lock:
+            return {k: list(v) for k, v in self._histograms.items()}
+
+    def histogram_stats(self, name: str) -> Dict[str, float]:
+        """count / total / mean / min / max of one histogram series."""
+        values = self.histograms.get(name, [])
+        if not values:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": len(values),
+            "total": sum(values),
+            "mean": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+        }
+
+    def summary(self, top: int = 10) -> str:
+        """Rendered top-N-spans table (see :func:`repro.obs.export.summary`)."""
+        from repro.obs.export import summary
+
+        return summary(self, top=top)
+
+    # -- internals -----------------------------------------------------------
+    def _stack(self) -> List[_Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record(self, ev: SpanEvent) -> None:
+        with self._lock:
+            self._events.append(ev)
+
+
+#: the process-wide tracer every subsystem reports to; disabled by default
+_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled unless something enables it)."""
+    return _TRACER
+
+
+def span(name: str, category: str = "", **attrs):
+    """``get_tracer().span(...)`` — the common instrumentation call."""
+    return _TRACER.span(name, category, **attrs)
+
+
+def event(name: str, category: str = "", **attrs) -> None:
+    _TRACER.event(name, category, **attrs)
+
+
+def add(name: str, value: float = 1.0) -> None:
+    _TRACER.add(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    _TRACER.observe(name, value)

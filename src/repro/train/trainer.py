@@ -7,6 +7,8 @@ vs reordered vs all-conv), pooling functions, and quantization levels.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -17,6 +19,9 @@ from repro.nn import functional as F
 from repro.nn.layers import Module
 from repro.nn.optim import Adam, LRSchedule, Optimizer, SGD
 from repro.nn.tensor import Tensor, no_grad
+from repro.obs.tracer import get_tracer
+
+logger = logging.getLogger("repro.train")
 
 
 @dataclass
@@ -43,6 +48,10 @@ class EpochStats:
     val_loss: float
     val_top1: float
     val_top5: float
+    #: wall time of the whole epoch (train loop + validation), seconds
+    wall_s: float = 0.0
+    #: training throughput over the train loop only (excludes validation)
+    samples_per_sec: float = 0.0
 
 
 def evaluate(model: Module, dataset: ArrayDataset, batch_size: int = 128):
@@ -102,6 +111,7 @@ class Trainer:
 
     def fit(self) -> List[EpochStats]:
         cfg = self.config
+        tracer = get_tracer()
         loader = DataLoader(
             self.train_set,
             batch_size=cfg.batch_size,
@@ -110,36 +120,72 @@ class Trainer:
             transform=self.transform,
         )
         stale = 0
-        for epoch in range(cfg.epochs):
-            self.model.train()
-            total_loss = 0.0
-            total_n = 0
-            for images, labels in loader:
-                logits = self.model(Tensor(images))
-                loss = F.cross_entropy(logits, labels)
-                self.optimizer.zero_grad()
-                loss.backward()
-                self.optimizer.step()
-                total_loss += loss.item() * len(labels)
-                total_n += len(labels)
-            if self.schedule is not None:
-                self.schedule.step()
-            val_loss, top1, top5 = evaluate(self.model, self.val_set, cfg.batch_size)
-            stats = EpochStats(epoch, total_loss / max(total_n, 1), val_loss, top1, top5)
-            self.history.append(stats)
-            if cfg.verbose:
-                print(
-                    f"epoch {epoch:3d}  train_loss {stats.train_loss:.4f}  "
-                    f"val_loss {val_loss:.4f}  top1 {top1:.3f}  top5 {top5:.3f}"
-                )
-            if top1 > self.best_top1:
-                self.best_top1 = top1
-                self.best_state = self.model.state_dict()
-                stale = 0
-            else:
-                stale += 1
-                if cfg.patience and stale >= cfg.patience:
-                    break
+        with tracer.span("train.fit", category="train", epochs=cfg.epochs) as fit_span:
+            for epoch in range(cfg.epochs):
+                with tracer.span("train.epoch", category="train", epoch=epoch) as ep_span:
+                    epoch_start = time.perf_counter()
+                    self.model.train()
+                    total_loss = 0.0
+                    total_n = 0
+                    for images, labels in loader:
+                        with tracer.span(
+                            "train.batch", category="train", samples=len(labels)
+                        ):
+                            logits = self.model(Tensor(images))
+                            loss = F.cross_entropy(logits, labels)
+                            self.optimizer.zero_grad()
+                            loss.backward()
+                            self.optimizer.step()
+                        total_loss += loss.item() * len(labels)
+                        total_n += len(labels)
+                    train_wall = time.perf_counter() - epoch_start
+                    if self.schedule is not None:
+                        self.schedule.step()
+                    with tracer.span("train.evaluate", category="train"):
+                        val_loss, top1, top5 = evaluate(
+                            self.model, self.val_set, cfg.batch_size
+                        )
+                    stats = EpochStats(
+                        epoch,
+                        total_loss / max(total_n, 1),
+                        val_loss,
+                        top1,
+                        top5,
+                        wall_s=time.perf_counter() - epoch_start,
+                        samples_per_sec=total_n / max(train_wall, 1e-12),
+                    )
+                    self.history.append(stats)
+                    ep_span.set(
+                        train_loss=stats.train_loss,
+                        val_loss=val_loss,
+                        val_top1=top1,
+                        samples_per_sec=stats.samples_per_sec,
+                    )
+                    tracer.add("train.samples", total_n)
+                    tracer.observe("train.loss", stats.train_loss)
+                    tracer.observe("train.val_top1", top1)
+                    tracer.observe("train.samples_per_sec", stats.samples_per_sec)
+                if cfg.verbose:
+                    logger.info(
+                        "epoch %3d  train_loss %.4f  val_loss %.4f  top1 %.3f  "
+                        "top5 %.3f  %.1f samples/s  (%.2fs)",
+                        epoch,
+                        stats.train_loss,
+                        val_loss,
+                        top1,
+                        top5,
+                        stats.samples_per_sec,
+                        stats.wall_s,
+                    )
+                if top1 > self.best_top1:
+                    self.best_top1 = top1
+                    self.best_state = self.model.state_dict()
+                    stale = 0
+                else:
+                    stale += 1
+                    if cfg.patience and stale >= cfg.patience:
+                        break
+            fit_span.set(epochs_run=len(self.history), best_top1=self.best_top1)
         if self.best_state is not None:
             self.model.load_state_dict(self.best_state)
         return self.history

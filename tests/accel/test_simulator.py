@@ -164,3 +164,43 @@ class TestBatchSimulation:
         spec = LayerSpec("c", 4, 4, 8, 3)
         with pytest.raises(ValueError):
             simulate_layer(spec, get_config("dcnn-fp32"), batch=0)
+
+
+class TestSimulatorTracing:
+    def test_per_layer_attribution_events(self, enabled_tracer):
+        specs = get_specs("lenet5")
+        result = simulate_network(specs, get_config("mlcnn-fp32"))
+        layer_events = [ev for ev in enabled_tracer.events if ev.name == "sim.layer"]
+        assert len(layer_events) == len(specs) == len(result.layers)
+        for ev, layer in zip(layer_events, result.layers):
+            assert ev.attrs["layer"] == layer.name
+            assert ev.attrs["cycles"] == layer.cycles
+            assert ev.attrs["compute_cycles"] == layer.compute_cycles
+            assert ev.attrs["memory_cycles"] == layer.memory_cycles
+            assert ev.attrs["dram_bytes"] == layer.dram_bytes
+            assert ev.attrs["energy_total_j"] == layer.energy.total_j
+            assert ev.attrs["bound"] in ("compute", "memory")
+            assert ev.attrs["config"] == "mlcnn-fp32"
+
+    def test_network_span_wraps_layer_events(self, enabled_tracer):
+        simulate_network(get_specs("lenet5"), get_config("dcnn-fp32"))
+        net = next(ev for ev in enabled_tracer.events if ev.name == "sim.network")
+        assert net.attrs["cycles"] > 0
+        for ev in enabled_tracer.events:
+            if ev.name == "sim.layer":
+                assert ev.parent == "sim.network"
+
+    def test_compare_networks_span(self, enabled_tracer):
+        compare_networks(
+            get_specs("lenet5"), get_config("dcnn-fp32"), get_config("mlcnn-fp32")
+        )
+        names = [ev.name for ev in enabled_tracer.events]
+        assert names.count("sim.compare") == 1
+        assert names.count("sim.network") == 2
+
+    def test_untraced_by_default(self):
+        from repro.obs import get_tracer
+
+        before = len(get_tracer().events)
+        simulate_network(get_specs("lenet5"), get_config("mlcnn-fp32"))
+        assert len(get_tracer().events) == before

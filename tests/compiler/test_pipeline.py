@@ -141,3 +141,25 @@ class TestDeterminism:
             with no_grad():
                 outs.append(model(x32).data)
         np.testing.assert_array_equal(outs[0], outs[1])
+
+
+class TestPipelineTracing:
+    def test_pass_spans_mirror_records(self, enabled_tracer):
+        model = build_model("lenet5")
+        _, report = mlcnn_pipeline(bits=8).run(model, CompileContext(quant_bits=8))
+        spans = [ev for ev in enabled_tracer.events if ev.name.startswith("compile.pass.")]
+        ran = [r for r in report.records if r.ran]
+        assert [ev.name for ev in spans] == [f"compile.pass.{r.name}" for r in ran]
+        for ev, record in zip(spans, ran):
+            assert ev.attrs["rewrites"] == record.rewrites
+            assert ev.parent == "compile.pipeline"
+
+    def test_pipeline_span_attrs(self, enabled_tracer):
+        model = build_model("lenet5")
+        _, report = mlcnn_pipeline().run(model)
+        pipe = next(ev for ev in enabled_tracer.events if ev.name == "compile.pipeline")
+        assert pipe.attrs["passes_run"] == report.passes_run
+        assert pipe.attrs["rewrites"] == report.total_rewrites
+        assert pipe.attrs["cached"] is False
+        # validation probes are traced too
+        assert any(ev.name == "compile.probe" for ev in enabled_tracer.events)

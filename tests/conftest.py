@@ -14,6 +14,21 @@ def rng() -> np.random.Generator:
 
 
 @pytest.fixture
+def enabled_tracer():
+    """The global repro.obs tracer, enabled and cleaned for one test."""
+    from repro.obs import get_tracer
+
+    tracer = get_tracer()
+    tracer.clear()
+    tracer.enable()
+    try:
+        yield tracer
+    finally:
+        tracer.disable()
+        tracer.clear()
+
+
+@pytest.fixture
 def tiny_dataset():
     """A small 4-class dataset usable for fast training tests."""
     cfg = SyntheticImageConfig(

@@ -1,5 +1,7 @@
 """The `python -m repro.experiments` CLI."""
 
+import json
+
 import pytest
 
 from repro.experiments.__main__ import main
@@ -43,3 +45,54 @@ class TestExperimentsCLI:
 
     def test_pipeline_unknown_model_errors(self, capsys):
         assert main(["--pipeline", "not-a-model"]) == 2
+
+
+class TestTraceFlags:
+    @pytest.fixture(autouse=True)
+    def _clean_global_tracer(self):
+        yield
+        from repro.obs import get_tracer
+
+        get_tracer().disable()
+        get_tracer().clear()
+
+    def test_pipeline_chrome_trace_is_unified(self, tmp_path, capsys):
+        """The acceptance command: compiler-pass, per-layer forward and
+        simulator spans all land in one Chrome trace."""
+        path = tmp_path / "out.json"
+        assert main(
+            ["--pipeline", "lenet5", "--trace", str(path), "--trace-format", "chrome"]
+        ) == 0
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert events
+        for ev in events:
+            assert {"ph", "ts", "name"} <= set(ev)
+            if ev["ph"] == "X":
+                assert "dur" in ev
+        names = {ev["name"] for ev in events}
+        assert any(n.startswith("compile.pass.") for n in names)  # compiler
+        assert "compile.pipeline" in names
+        assert any(n.startswith("lenet5.") and n.endswith(".forward") for n in names)
+        assert "sim.network" in names and "sim.layer" in names  # simulator
+        assert "trace:" in capsys.readouterr().out
+
+    def test_suite_jsonl_trace(self, tmp_path, capsys):
+        path = tmp_path / "out.jsonl"
+        assert main(["--only", "limits", "--trace", str(path)]) == 0
+        docs = [json.loads(line) for line in path.read_text().strip().split("\n")]
+        names = {d["name"] for d in docs}
+        assert "experiments.suite" in names
+        assert "experiment.limits" in names
+
+    def test_trace_summary_prints_table(self, capsys):
+        assert main(["--only", "limits", "--trace-summary"]) == 0
+        out = capsys.readouterr().out
+        assert "== Trace:" in out
+        assert "experiment.limits" in out
+
+    def test_tracer_disabled_after_run(self, tmp_path):
+        from repro.obs import get_tracer
+
+        assert main(["--only", "limits", "--trace", str(tmp_path / "t.jsonl")]) == 0
+        assert not get_tracer().enabled

@@ -100,6 +100,81 @@ class TestTrainer:
         assert np.isclose(trainer.optimizer.lr, 0.1 * 0.5 ** 3)
 
 
+class TestEpochTiming:
+    def test_wall_and_throughput_fields(self, tiny_split):
+        train_set, val_set = tiny_split
+        trainer = Trainer(
+            small_model(), train_set, val_set, TrainConfig(epochs=2, batch_size=16)
+        )
+        hist = trainer.fit()
+        for h in hist:
+            assert h.wall_s > 0.0
+            assert h.samples_per_sec > 0.0
+            # throughput is per train-loop second, so it can't exceed
+            # the epoch's sample count divided by (a slice of) wall_s
+            assert h.samples_per_sec >= len(train_set) / max(h.wall_s, 1e-9) * 0.5
+
+    def test_verbose_logs_to_repro_train_logger(self, tiny_split, caplog):
+        import logging
+
+        train_set, val_set = tiny_split
+        trainer = Trainer(
+            small_model(),
+            train_set,
+            val_set,
+            TrainConfig(epochs=1, batch_size=16, verbose=True),
+        )
+        with caplog.at_level(logging.INFO, logger="repro.train"):
+            trainer.fit()
+        records = [r for r in caplog.records if r.name == "repro.train"]
+        assert len(records) == 1
+        assert "train_loss" in records[0].getMessage()
+        assert "samples/s" in records[0].getMessage()
+
+    def test_quiet_by_default(self, tiny_split, caplog):
+        import logging
+
+        train_set, val_set = tiny_split
+        trainer = Trainer(
+            small_model(), train_set, val_set, TrainConfig(epochs=1, batch_size=16)
+        )
+        with caplog.at_level(logging.INFO, logger="repro.train"):
+            trainer.fit()
+        assert not [r for r in caplog.records if r.name == "repro.train"]
+
+
+class TestTrainerTracing:
+    def test_fit_records_spans_and_metric_series(self, tiny_split, enabled_tracer):
+        train_set, val_set = tiny_split
+        trainer = Trainer(
+            small_model(), train_set, val_set, TrainConfig(epochs=2, batch_size=16)
+        )
+        trainer.fit()
+        names = [ev.name for ev in enabled_tracer.events]
+        assert names.count("train.fit") == 1
+        assert names.count("train.epoch") == 2
+        assert names.count("train.evaluate") == 2
+        assert names.count("train.batch") > 0
+        # derived metric series recorded per epoch
+        assert len(enabled_tracer.histograms["train.loss"]) == 2
+        assert len(enabled_tracer.histograms["train.samples_per_sec"]) == 2
+        assert enabled_tracer.counters["train.samples"] == 2 * len(train_set)
+        # epoch spans carry the derived throughput
+        ep = next(ev for ev in enabled_tracer.events if ev.name == "train.epoch")
+        assert ep.attrs["samples_per_sec"] > 0
+
+    def test_fit_untraced_when_disabled(self, tiny_split):
+        from repro.obs import get_tracer
+
+        train_set, val_set = tiny_split
+        trainer = Trainer(
+            small_model(), train_set, val_set, TrainConfig(epochs=1, batch_size=16)
+        )
+        before = len(get_tracer().events)
+        trainer.fit()
+        assert len(get_tracer().events) == before
+
+
 class TestEvaluate:
     def test_evaluate_returns_sane_metrics(self, tiny_split):
         train_set, val_set = tiny_split
