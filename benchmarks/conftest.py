@@ -23,6 +23,7 @@ import os
 import pytest
 
 from repro.experiments.accuracy import FAST_BUDGET, AccuracyBudget
+from repro.obs.metrics import provenance
 
 
 def pytest_addoption(parser):
@@ -34,19 +35,35 @@ def pytest_addoption(parser):
     )
 
 
+@pytest.fixture(scope="session")
+def run_provenance():
+    """One provenance stamp (git SHA, UTC time, host, ...) per session."""
+    return provenance()
+
+
 @pytest.fixture
-def record_metric(request):
+def record_metric(request, run_provenance):
     """Emit ``{"figure", "metric", "value", ...}`` JSONL rows.
 
     No-op unless the run passed ``--metrics-jsonl``; benches call it
-    unconditionally.
+    unconditionally.  Every row carries the session's provenance stamp
+    (git SHA, timestamp, host, user, python) so a metrics file is
+    attributable on its own; provenance keys never enter the metric
+    identity the regression gate compares (see
+    :func:`repro.obs.metrics.metric_key`).
     """
     path = request.config.getoption("--metrics-jsonl")
 
     def _record(figure: str, metric: str, value: float, **extra) -> None:
         if not path:
             return
-        row = {"figure": figure, "metric": metric, "value": float(value), **extra}
+        row = {
+            "figure": figure,
+            "metric": metric,
+            "value": float(value),
+            **extra,
+            **run_provenance,
+        }
         with open(path, "a") as fh:
             fh.write(json.dumps(row) + "\n")
 

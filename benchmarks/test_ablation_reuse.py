@@ -5,7 +5,7 @@ from repro.experiments import ablation_reuse
 from repro.models import specs
 
 
-def test_ablation_reuse(benchmark):
+def test_ablation_reuse(benchmark, record_metric):
     report = benchmark.pedantic(ablation_reuse, rounds=1, iterations=1)
     report.show()
 
@@ -24,4 +24,11 @@ def test_ablation_reuse(benchmark):
         assert adds(True, True) <= adds(True, False) <= adds(False, False)
         assert adds(True, True) <= adds(False, True) <= adds(False, False)
         # and never exceeds the dense baseline
-        assert adds(False, False) <= sum(dcnn_layer_ops(s).additions for s in fused)
+        base = sum(dcnn_layer_ops(s).additions for s in fused)
+        assert adds(False, False) <= base
+        record_metric(
+            "ablation", "add_reduction_lar_gar", 1 - adds(True, True) / base, model=model
+        )
+        record_metric(
+            "ablation", "add_reduction_rme_only", 1 - adds(False, False) / base, model=model
+        )

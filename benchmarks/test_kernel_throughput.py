@@ -5,6 +5,8 @@ faster than unfused Conv -> AvgPool -> ReLU on this machine (it does a
 quarter of the GEMM work), and benchmarks the RTL micro-simulator.
 """
 
+from time import perf_counter
+
 import numpy as np
 import pytest
 
@@ -12,17 +14,29 @@ from repro.core.fusion import fused_conv_pool
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor, no_grad
 
+#: images per run() call below
+BATCH = 8
+
 
 @pytest.fixture(scope="module")
 def workload():
     rng = np.random.default_rng(0)
-    x = Tensor(rng.normal(size=(8, 32, 32, 32)))
+    x = Tensor(rng.normal(size=(BATCH, 32, 32, 32)))
     w = Tensor(rng.normal(size=(64, 32, 3, 3)))
     b = Tensor(rng.normal(size=64))
     return x, w, b
 
 
-def test_bench_unfused_conv_pool(benchmark, workload):
+def _samples_per_sec(run, batch: int = BATCH) -> float:
+    """Wall-clock throughput of run(), measured independently of the
+    pytest-benchmark timer (which --benchmark-disable turns off)."""
+    run()  # warm up
+    start = perf_counter()
+    run()
+    return batch / (perf_counter() - start)
+
+
+def test_bench_unfused_conv_pool(benchmark, workload, record_metric):
     x, w, b = workload
 
     def run():
@@ -30,9 +44,10 @@ def test_bench_unfused_conv_pool(benchmark, workload):
             return F.relu(F.avg_pool2d(F.conv2d(x, w, b, padding=1), 2)).data
 
     benchmark(run)
+    record_metric("kernel", "unfused_samples_per_sec", _samples_per_sec(run))
 
 
-def test_bench_fused_conv_pool(benchmark, workload):
+def test_bench_fused_conv_pool(benchmark, workload, record_metric):
     x, w, b = workload
 
     def run():
@@ -40,16 +55,19 @@ def test_bench_fused_conv_pool(benchmark, workload):
             return fused_conv_pool(x, w, b, pool=2, padding=1).data
 
     out = benchmark(run)
+    record_metric("kernel", "fused_samples_per_sec", _samples_per_sec(run))
     with no_grad():
         ref = F.relu(F.avg_pool2d(F.conv2d(x, w, b, padding=1), 2)).data
     np.testing.assert_allclose(out, ref, atol=1e-9)
 
 
-def test_bench_rtl_microsim(benchmark):
+def test_bench_rtl_microsim(benchmark, record_metric):
     from repro.accel.rtl import RTLFusedConvPool
 
     rng = np.random.default_rng(1)
     img = rng.normal(size=(32, 32))
     w = rng.normal(size=(3, 3))
-    report = benchmark(RTLFusedConvPool(w).run, img)
+    sim = RTLFusedConvPool(w)
+    report = benchmark(sim.run, img)
     assert report.outputs.shape == (15, 15)
+    record_metric("kernel", "rtl_images_per_sec", _samples_per_sec(lambda: sim.run(img), batch=1))

@@ -12,7 +12,7 @@ from repro.analysis.report import ExperimentReport
 from repro.analysis.sweep import speedup_vs_bandwidth, speedup_vs_batch, speedup_vs_pool_size
 
 
-def test_bandwidth_crossover(benchmark):
+def test_bandwidth_crossover(benchmark, record_metric):
     def run():
         return speedup_vs_bandwidth((0.5, 1, 2, 4, 8, 16, 32, 64))
 
@@ -23,12 +23,13 @@ def test_bandwidth_crossover(benchmark):
     )
     for b, s in zip(bws, sp):
         rep.add_row(b, f"{s:.2f}x")
+        record_metric("operating", "speedup_vs_bandwidth", s, bytes_per_cycle=b)
     rep.show()
     assert (np.diff(sp) >= -1e-9).all()  # monotone: bandwidth unlocks RME
     assert sp[-1] / sp[0] > 1.3
 
 
-def test_batch_amortization(benchmark):
+def test_batch_amortization(benchmark, record_metric):
     def run():
         return speedup_vs_batch((1, 2, 4, 8, 16))
 
@@ -39,11 +40,12 @@ def test_batch_amortization(benchmark):
     )
     for b, s in zip(bs, sp):
         rep.add_row(b, f"{s:.2f}x")
+        record_metric("operating", "speedup_vs_batch", s, batch=int(b))
     rep.show()
     assert (np.diff(sp) >= -1e-9).all()
 
 
-def test_pool_size_scaling(benchmark):
+def test_pool_size_scaling(benchmark, record_metric):
     def run():
         return speedup_vs_pool_size((2, 3, 4, 6, 8))
 
@@ -54,6 +56,7 @@ def test_pool_size_scaling(benchmark):
     )
     for p, s in zip(ps, sp):
         rep.add_row(p, f"{s:.2f}x", int(p) ** 2)
+        record_metric("operating", "speedup_vs_pool", s, pool=int(p))
     rep.show()
     assert (np.diff(sp) > 0).all()
     # speedup tracks the arithmetic bound p^2 (slightly above is

@@ -3,10 +3,13 @@
 from repro.experiments import table1_models
 
 
-def test_table1_models(benchmark):
+def test_table1_models(benchmark, record_metric):
     report = benchmark.pedantic(table1_models, rounds=1, iterations=1)
     report.show()
     rows = {r[0]: r for r in report.rows}
+    for model in ("lenet5", "vgg16", "vgg19", "googlenet"):
+        record_metric("table1", "conv_layers", rows[model][1], model=model)
+        record_metric("table1", "params", rows[model][2], model=model)
     # LeNet-5 parameter count matches the paper's 62K
     assert abs(rows["lenet5"][2] - 62_000) < 1_500
     # conv-layer counts match Table I

@@ -5,10 +5,11 @@ from repro.experiments import table2_lar_filter
 from repro.experiments.analytic import TABLE2_PAPER
 
 
-def test_table2_lar_filter(benchmark):
+def test_table2_lar_filter(benchmark, record_metric):
     report = benchmark(table2_lar_filter)
     report.show()
     for k, (wo, w, rate) in TABLE2_PAPER.items():
         assert oc.lar_additions_without(k) == wo
         assert oc.lar_additions_with(k) == w
         assert round(100 * oc.lar_reduction_rate(k), 1) == rate
+        record_metric("table2", "lar_reduction_rate", oc.lar_reduction_rate(k), k=k)

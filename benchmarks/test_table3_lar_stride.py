@@ -5,10 +5,11 @@ from repro.experiments import table3_lar_stride
 from repro.experiments.analytic import TABLE3_PAPER
 
 
-def test_table3_lar_stride(benchmark):
+def test_table3_lar_stride(benchmark, record_metric):
     report = benchmark(table3_lar_stride)
     report.show()
     for s, expected in TABLE3_PAPER.items():
         assert oc.lar_additions_with(11, s) == expected
+        record_metric("table3", "lar_reduction_rate", oc.lar_reduction_rate(11, s), s=s)
     # reduction decreases linearly in S and vanishes at S = K
     assert oc.lar_reduction_rate(11, 11) == 0.0

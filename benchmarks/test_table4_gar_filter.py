@@ -9,15 +9,16 @@ from repro.experiments import table4_gar_filter
 from repro.experiments.analytic import TABLE4_PAPER
 
 
-def test_table4_gar_filter(benchmark):
+def test_table4_gar_filter(benchmark, record_metric):
     report = benchmark.pedantic(table4_gar_filter, rounds=1, iterations=1)
     report.show()
     for k, (wo, w, _rate) in TABLE4_PAPER.items():
         assert oc.gar_additions_without(28, k) == wo
         assert oc.gar_additions_with(28, k) == w
+        record_metric("table4", "gar_reduction_rate", oc.gar_reduction_rate(28, k), k=k)
 
 
-def test_table4_measured_from_kernel(benchmark):
+def test_table4_measured_from_kernel(benchmark, record_metric):
     """Execute the fused kernel with row-GAR and count real additions."""
 
     def measure():
@@ -36,3 +37,4 @@ def test_table4_measured_from_kernel(benchmark):
     measured = benchmark.pedantic(measure, rounds=1, iterations=1)
     for k, per_row in measured.items():
         assert per_row == oc.gar_additions_with(28, k), k
+        record_metric("table4", "measured_adds_per_row", per_row, k=k)

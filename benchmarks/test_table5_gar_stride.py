@@ -5,11 +5,12 @@ from repro.experiments import table5_gar_stride
 from repro.experiments.analytic import TABLE5_PAPER
 
 
-def test_table5_gar_stride(benchmark):
+def test_table5_gar_stride(benchmark, record_metric):
     report = benchmark(table5_gar_stride)
     report.show()
     for s, (wo, w, _rate) in TABLE5_PAPER.items():
         assert oc.gar_additions_without(28, 13, s) == wo
         assert oc.gar_additions_with(28, 13, s) == w
+        record_metric("table5", "gar_reduction_rate", oc.gar_reduction_rate(28, 13, s), s=s)
     # paper: effectiveness "drops dramatically" with stride
     assert oc.gar_reduction_rate(28, 13, 1) > 3 * oc.gar_reduction_rate(28, 13, 5)

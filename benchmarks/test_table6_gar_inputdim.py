@@ -7,12 +7,13 @@ from repro.experiments import table6_gar_inputdim
 from repro.experiments.analytic import TABLE6_PAPER
 
 
-def test_table6_gar_inputdim(benchmark):
+def test_table6_gar_inputdim(benchmark, record_metric):
     report = benchmark(table6_gar_inputdim)
     report.show()
     for d, (wo, w, _rate) in TABLE6_PAPER.items():
         assert oc.gar_additions_without(d, 13) == wo
         assert oc.gar_additions_with(d, 13) == w
+        record_metric("table6", "gar_reduction_rate", oc.gar_reduction_rate(d, 13), d=d)
 
 
 def test_equation5_closed_form(benchmark):
@@ -28,6 +29,7 @@ def test_equation5_closed_form(benchmark):
     assert benchmark(check)
 
 
-def test_equation6_limit(benchmark):
+def test_equation6_limit(benchmark, record_metric):
     limit = benchmark(oc.gar_limit_large_input, 13)
+    record_metric("table6", "gar_limit_large_input", limit, k=13)
     assert round(100 * limit, 1) == 63.6

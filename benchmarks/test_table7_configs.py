@@ -5,13 +5,17 @@ from repro.accel.config import TABLE7_CONFIGS
 from repro.experiments import table7_configs
 
 
-def test_table7_configs(benchmark):
+def test_table7_configs(benchmark, record_metric):
     report = benchmark(table7_configs)
     report.show()
     # the paper's slice counts fit the 1.52 mm^2 budget at 45 nm
     assert slices_for_budget(32) >= 32
     assert slices_for_budget(16) >= 64
     assert slices_for_budget(8) >= 128
-    for cfg in TABLE7_CONFIGS.values():
-        assert config_area_mm2(cfg.mac_slices, cfg.bitwidth) <= cfg.area_mm2 + 1e-9
+    for bits in (32, 16, 8):
+        record_metric("table7", "slices_for_budget", slices_for_budget(bits), bits=bits)
+    for name, cfg in TABLE7_CONFIGS.items():
+        area = config_area_mm2(cfg.mac_slices, cfg.bitwidth)
+        record_metric("table7", "area_mm2", area, config=name)
+        assert area <= cfg.area_mm2 + 1e-9
         assert cfg.onchip_memory_kb == 134

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence
 
+from repro.obs.metrics import get_recorder
+
 
 @dataclass
 class BufferStats:
@@ -56,10 +58,12 @@ class MultiBankBuffer:
         bank, offset = self._locate(address)
         self._data[bank][offset] = value
         self.stats.writes += 1
+        get_recorder().record(buffer_writes=1)
 
     def read(self, address: int) -> float:
         bank, offset = self._locate(address)
         self.stats.reads += 1
+        get_recorder().record(buffer_reads=1)
         return self._data[bank][offset]
 
     def cycle(self, read_addresses: Sequence[int]) -> int:
@@ -74,9 +78,11 @@ class MultiBankBuffer:
             per_bank[bank] += 1
         worst = max(per_bank, default=0)
         cycles = max(1, worst)
+        conflicts = sum(max(0, c - 1) for c in per_bank)
         self.stats.cycles += cycles
         self.stats.reads += len(read_addresses)
-        self.stats.conflicts += sum(max(0, c - 1) for c in per_bank)
+        self.stats.conflicts += conflicts
+        get_recorder().record(buffer_reads=len(read_addresses), buffer_conflicts=conflicts)
         return cycles
 
     def load_array(self, values: Iterable[float], base: int = 0) -> int:

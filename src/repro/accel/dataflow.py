@@ -24,6 +24,7 @@ from typing import Iterator, List, Literal, Optional, Sequence, Tuple
 
 from repro.accel.tiling import TilingPlan
 from repro.models.specs import LayerSpec
+from repro.obs.metrics import get_recorder
 
 StepKind = Literal["load_weights", "load_input", "compute", "store_output"]
 
@@ -149,4 +150,7 @@ def timeline(steps: Sequence[ScheduleStep]) -> Timeline:
     store = sum(s.cost for s in steps if s.kind == "store_output")
     first_load = next((s.cost for s in steps if s.kind.startswith("load")), 0.0)
     makespan = max(load + store, compute) + first_load
+    get_recorder().record(
+        sched_load_cycles=load, sched_compute_cycles=compute, sched_store_cycles=store
+    )
     return Timeline(load, compute, store, makespan)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import get_recorder
+
 
 @dataclass
 class DramConfig:
@@ -69,24 +71,35 @@ class DramModel:
             raise ValueError("address must be non-negative")
         cfg = self.config
         cycles = 0
+        accesses = hits = misses = 0
         remaining = nbytes
         addr = address
         while remaining > 0:
             row = addr // cfg.row_size_bytes
-            self.stats.accesses += 1
+            accesses += 1
             if row == self._open_row:
-                self.stats.row_hits += 1
+                hits += 1
                 cycles += cfg.cas_cycles
             else:
-                self.stats.row_misses += 1
+                misses += 1
                 cycles += cfg.row_activate_cycles + cfg.cas_cycles
                 self._open_row = row
             in_row = min(remaining, cfg.row_size_bytes - addr % cfg.row_size_bytes)
             cycles += int(np_ceil(in_row / cfg.bytes_per_cycle))
             addr += in_row
             remaining -= in_row
+        self.stats.accesses += accesses
+        self.stats.row_hits += hits
+        self.stats.row_misses += misses
         self.stats.bytes_transferred += nbytes
         self.stats.cycles += cycles
+        get_recorder().record(
+            dram_accesses=accesses,
+            dram_row_hits=hits,
+            dram_row_misses=misses,
+            dram_cycles=cycles,
+            dram_bytes=nbytes,
+        )
         return cycles
 
     def stream(self, address: int, nbytes: int, chunk: int = 64) -> int:

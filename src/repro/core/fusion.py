@@ -33,6 +33,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 from repro.nn import functional as F
 from repro.nn.layers import Module
 from repro.nn.tensor import Tensor, make_node, send_grad
+from repro.obs.metrics import get_recorder
 
 
 def box_sum(x: np.ndarray, p: int) -> np.ndarray:
@@ -102,6 +103,21 @@ def fused_conv_pool(
         acc_t._backward = _bw
 
     out = F.conv2d(acc_t, weight, bias=None, stride=pool)
+    recorder = get_recorder()
+    if recorder.enabled:
+        # Measured from this execution's actual geometry: the fused conv
+        # touches each weight once per *pooled* output; a dense run would
+        # touch it once per conv output and pay one scaling mult per
+        # pooled output (a free shift here).
+        m, _, k, _ = weight.shape
+        _, _, oh, ow = out.shape
+        hp, wp = xd.shape[-2:]
+        conv_outs = (hp - k + 1) * (wp - k + 1)
+        mults = n * m * oh * ow * c * k * k
+        recorder.record(
+            mults=mults,
+            mults_eliminated=n * m * (c * k * k * (conv_outs - oh * ow) + oh * ow),
+        )
     out = out * (1.0 / (pool * pool))
     if bias is not None:
         m = weight.shape[0]
@@ -181,6 +197,10 @@ class OpCounter:
     bias_additions: int = 0
     #: cache hits, i.e. additions *avoided* by LAR/GAR reuse
     reuse_hits: int = 0
+    #: reuse_hits split by mechanism (LAR half-addition cache vs GAR
+    #: box-sum cache); lar_hits + gar_hits == reuse_hits
+    lar_hits: int = 0
+    gar_hits: int = 0
 
     def add(self, kind: str, n: int = 1) -> None:
         self.additions += n
@@ -189,6 +209,23 @@ class OpCounter:
     @property
     def total(self) -> int:
         return self.multiplications + self.additions
+
+
+def _report_kernel_counters(counter: OpCounter, mults_eliminated: int = 0) -> None:
+    """Publish a counted execution into the measured-counter recorder."""
+    recorder = get_recorder()
+    if not recorder.enabled:
+        return
+    recorder.record(
+        mults=counter.multiplications,
+        mults_eliminated=mults_eliminated,
+        half_additions=counter.half_additions,
+        full_additions=counter.full_additions,
+        major_additions=counter.major_additions,
+        bias_additions=counter.bias_additions,
+        lar_reuse_hits=counter.lar_hits,
+        gar_reuse_hits=counter.gar_hits,
+    )
 
 
 def dense_conv_pool_counted(
@@ -230,6 +267,7 @@ def dense_conv_pool_counted(
                 counter.add("major_additions", pool * pool - 1)
                 counter.multiplications += 1  # scaling by 1/p^2
                 out[to, i, j] = max(s / (pool * pool), 0.0)
+    _report_kernel_counters(counter)
     return out, counter
 
 
@@ -286,6 +324,7 @@ def fused_conv_pool_counted(
         key = (ti, i, j)
         if use_lar and key in ha_cache:
             counter.reuse_hits += pool - 1
+            counter.lar_hits += pool - 1
             return ha_cache[key]
         val = float(x[ti, i, j])
         for d in range(1, pool):
@@ -307,6 +346,7 @@ def fused_conv_pool_counted(
             # execution would spend (its constituent HA hits are not
             # separately counted), keeping additions+reuse_hits invariant.
             counter.reuse_hits += pool * pool - 1
+            counter.gar_hits += pool * pool - 1
             return fa_cache[key]
         if use_lar:
             val = half_add(ti, i, j)
@@ -357,4 +397,8 @@ def fused_conv_pool_counted(
                     val += bias[to]
                     counter.add("bias_additions", 1)
                 out[to, r, q] = max(val, 0.0)
+    # RME elimination measured against a dense run of the same geometry:
+    # c*k*k mults per conv output plus one scaling mult per pooled output.
+    dense_mults = m * (co * co * c * k * k + po * po)
+    _report_kernel_counters(counter, mults_eliminated=dense_mults - counter.multiplications)
     return out, counter

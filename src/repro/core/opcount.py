@@ -236,7 +236,11 @@ def mlcnn_layer_ops(spec: LayerSpec, use_lar: bool = True, use_gar: bool = True)
         n_ha = n_fa + p - 1
     else:
         n_fa = out * k
-        n_ha = out * (k + p - 1)
+        # Half-addition column groups (width k + p - 1, spaced p) overlap
+        # by k - 1 between adjacent outputs; I_Acc reuse computes each
+        # shared column once (0 for the 1x1-conv case, where groups are
+        # exactly the pooled grid).
+        n_ha = out * (k + p - 1) - (out - 1) * (k - 1)
 
     if use_lar and use_gar:
         # I_Acc built once per input channel: half additions (vertical

@@ -10,12 +10,20 @@ Usage::
     python -m repro.experiments --pipeline lenet5 --trace out.json \\
         --trace-format chrome      # unified compile/forward/simulate trace
     python -m repro.experiments --only fig13 --trace-summary
+    python -m repro.experiments --bench-compare metrics.jsonl \\
+        --bench-dashboard dashboard.md   # perf regression gate (CI)
 
 ``--trace`` enables the process-wide tracer (:mod:`repro.obs`) for the
 whole run and writes the collected spans/events to the given path —
 JSONL by default, or the Chrome trace-event format with
 ``--trace-format chrome`` (open in ``chrome://tracing`` or Perfetto).
 ``--trace-summary`` prints the top-N-spans table after the run.
+
+``--bench-compare`` feeds a benchmark run's ``--metrics-jsonl`` file
+through the tolerance-policy regression gate (:mod:`repro.obs.regress`)
+against the committed ``BENCH_<area>.json`` baselines and exits
+non-zero on regression; ``--bench-update`` intentionally refreshes the
+baselines, and ``--bench-dashboard`` renders the trend dashboard.
 """
 
 from __future__ import annotations
@@ -176,6 +184,33 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the top-N-spans summary table after the run",
     )
+    parser.add_argument(
+        "--bench-compare",
+        metavar="JSONL",
+        default=None,
+        help="run the perf regression gate: compare a --metrics-jsonl file "
+        "against the committed BENCH_<area>.json baselines and exit "
+        "non-zero on regression",
+    )
+    parser.add_argument(
+        "--bench-root",
+        metavar="DIR",
+        default=".",
+        help="directory holding the BENCH_<area>.json baselines (default: .)",
+    )
+    parser.add_argument(
+        "--bench-update",
+        action="store_true",
+        help="with --bench-compare: refresh the baselines from the metrics "
+        "file instead of gating (intentional baseline refresh)",
+    )
+    parser.add_argument(
+        "--bench-dashboard",
+        metavar="PATH",
+        default=None,
+        help="write the benchmark dashboard (markdown, or HTML for "
+        ".html paths); usable with or without --bench-compare",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -183,6 +218,8 @@ def main(argv=None) -> int:
         return 0
     if args.bits < 0:
         parser.error(f"--bits must be >= 0, got {args.bits}")
+    if args.bench_compare is not None or args.bench_dashboard is not None:
+        return _bench_compare(args)
 
     tracer = obs.get_tracer()
     tracing = bool(args.trace or args.trace_summary)
@@ -204,6 +241,45 @@ def main(argv=None) -> int:
                 print(f"trace: {n} event(s) -> {args.trace} [{args.trace_format}]")
             if args.trace_summary:
                 print("\n" + obs.summary(tracer))
+
+
+def _bench_compare(args) -> int:
+    """The perf-engineering loop's CI entry point.
+
+    ``--bench-compare metrics.jsonl`` gates the run against the
+    committed ``BENCH_<area>.json`` baselines (exit 1 on regression);
+    ``--bench-update`` refreshes the baselines instead;
+    ``--bench-dashboard`` renders the trend dashboard either way.
+    """
+    from repro.obs.dashboard import write_dashboard
+    from repro.obs.metrics import MetricRegistry, load_metrics_jsonl
+    from repro.obs.regress import gate_metrics
+
+    registry = MetricRegistry(args.bench_root)
+    per_area = {}
+    if args.bench_compare is not None:
+        per_area = load_metrics_jsonl(args.bench_compare)
+        if not per_area:
+            print(f"no metric rows in {args.bench_compare}", file=sys.stderr)
+            return 2
+
+    rc = 0
+    report = None
+    if args.bench_compare is not None and args.bench_update:
+        for area, metrics in sorted(per_area.items()):
+            path = registry.update(area, metrics)
+            print(f"baseline updated: {path} ({len(metrics)} metric(s))")
+    elif args.bench_compare is not None:
+        report = gate_metrics(per_area, registry)
+        print(report.render())
+        rc = 1 if report.failed else 0
+
+    if args.bench_dashboard:
+        path = write_dashboard(
+            args.bench_dashboard, registry, current=per_area or None, gate_report=report
+        )
+        print(f"dashboard -> {path}")
+    return rc
 
 
 def _run_suite(parser: argparse.ArgumentParser, args) -> int:

@@ -20,6 +20,7 @@ or from the CLI::
         --trace-format chrome
 """
 
+from repro.obs.dashboard import write_dashboard
 from repro.obs.export import (
     summary,
     summary_report,
@@ -29,6 +30,21 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.instrument import deinstrument_model, instrument_model
+from repro.obs.metrics import (
+    MetricRegistry,
+    OpCounters,
+    RunRecord,
+    collect_counters,
+    get_recorder,
+    provenance,
+)
+from repro.obs.regress import (
+    RegressionReport,
+    TolerancePolicy,
+    Verdict,
+    gate_jsonl,
+    gate_metrics,
+)
 from repro.obs.tracer import (
     SpanEvent,
     Tracer,
@@ -40,19 +56,31 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "MetricRegistry",
+    "OpCounters",
+    "RegressionReport",
+    "RunRecord",
     "SpanEvent",
+    "TolerancePolicy",
     "Tracer",
+    "Verdict",
     "add",
+    "collect_counters",
     "deinstrument_model",
     "event",
+    "gate_jsonl",
+    "gate_metrics",
+    "get_recorder",
     "get_tracer",
     "instrument_model",
     "observe",
+    "provenance",
     "span",
     "summary",
     "summary_report",
     "to_chrome_trace",
     "to_jsonl",
     "write_chrome_trace",
+    "write_dashboard",
     "write_jsonl",
 ]

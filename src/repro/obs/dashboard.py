@@ -1,0 +1,222 @@
+"""Benchmark dashboard: metric trends + counter breakdown as MD/HTML.
+
+Renders the state of the run registry (``BENCH_<area>.json``) — latest
+baseline vs the current run, relative deltas, and a unicode sparkline
+of each metric's history — plus, when supplied, the regression-gate
+verdicts and a measured :class:`~repro.obs.metrics.OpCounters`
+breakdown.  CI writes the markdown flavour as a build artifact::
+
+    python -m repro.experiments --bench-compare metrics.jsonl \\
+        --bench-dashboard dashboard.md
+
+The HTML flavour (``--bench-dashboard dash.html``) wraps the same
+tables in a minimal standalone page; format is chosen by extension.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.metrics import MetricRegistry, OpCounters, provenance
+
+__all__ = ["sparkline", "build_dashboard", "render_markdown", "render_html", "write_dashboard"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode block sparkline of a metric series (empty for < 2 points)."""
+    vals = [float(v) for v in values]
+    if len(vals) < 2:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi - lo <= 1e-12 * max(abs(hi), abs(lo), 1.0):
+        return _BLOCKS[3] * len(vals)
+    span = hi - lo
+    return "".join(_BLOCKS[int((v - lo) / span * (len(_BLOCKS) - 1))] for v in vals)
+
+
+class _Section:
+    """One titled table plus optional lead-in lines."""
+
+    def __init__(self, title: str, headers: List[str], rows: List[List[str]], notes: List[str]):
+        self.title = title
+        self.headers = headers
+        self.rows = rows
+        self.notes = notes
+
+
+def _area_section(
+    registry: MetricRegistry,
+    area: str,
+    current: Optional[Mapping[str, float]],
+) -> _Section:
+    baseline = registry.baseline(area) or {}
+    cur = dict(current or {})
+    keys = sorted(set(baseline) | set(cur))
+    rows: List[List[str]] = []
+    for key in keys:
+        base_v = baseline.get(key)
+        cur_v = cur.get(key)
+        if base_v is not None and cur_v is not None and base_v != 0:
+            delta = f"{100 * (cur_v - base_v) / abs(base_v):+.2f}%"
+        else:
+            delta = "-"
+        series = [v for _, v in registry.series(area, key)]
+        if cur_v is not None:
+            series = series + [cur_v]
+        rows.append(
+            [
+                key,
+                "-" if base_v is None else f"{base_v:.6g}",
+                "-" if cur_v is None else f"{cur_v:.6g}",
+                delta,
+                sparkline(series) or "·",
+            ]
+        )
+    doc = registry.load(area)
+    notes: List[str] = []
+    if doc is not None:
+        prov = doc.get("provenance") or {}
+        notes.append(
+            f"baseline: {prov.get('git_sha', '?')} @ {prov.get('timestamp', '?')} "
+            f"on {prov.get('host', '?')} ({len(doc.get('history') or [])} prior run(s))"
+        )
+    else:
+        notes.append("no committed baseline yet (seed with --bench-update)")
+    return _Section(
+        f"Area `{area}`",
+        ["metric", "baseline", "current", "delta", "trend"],
+        rows,
+        notes,
+    )
+
+
+def _counters_section(counters: OpCounters) -> _Section:
+    rows = [[name, f"{value:.6g}"] for name, value in counters.as_dict().items() if value]
+    denom = counters.mults + counters.mults_eliminated
+    notes = []
+    if denom:
+        notes.append(f"RME eliminated {100 * counters.mults_eliminated / denom:.1f}% of dense multiplications")
+    spent_plus_saved = counters.additions + counters.reuse_hits
+    if spent_plus_saved and counters.reuse_hits:
+        notes.append(
+            f"LAR+GAR avoided {100 * counters.reuse_hits / spent_plus_saved:.1f}% of no-reuse additions"
+        )
+    return _Section("Measured counters", ["counter", "value"], rows, notes)
+
+
+def build_dashboard(
+    registry: MetricRegistry,
+    current: Optional[Mapping[str, Mapping[str, float]]] = None,
+    counters: Optional[OpCounters] = None,
+    gate_report=None,
+) -> List[_Section]:
+    """Assemble dashboard sections (shared by both output formats)."""
+    sections: List[_Section] = []
+    areas = sorted(set(registry.areas()) | set(current or {}))
+    for area in areas:
+        sections.append(_area_section(registry, area, (current or {}).get(area)))
+    if gate_report is not None:
+        order = {"regressed": 0, "invalid": 1, "improved": 2, "ok": 3,
+                 "missing_baseline": 4, "missing_current": 5}
+        rows = [
+            [
+                v.status,
+                v.area,
+                v.metric,
+                "-" if v.baseline is None else f"{v.baseline:.6g}",
+                "-" if v.current is None else f"{v.current:.6g}",
+                v.policy.direction,
+            ]
+            for v in sorted(gate_report.verdicts, key=lambda v: (order[v.status], v.area, v.metric))
+        ]
+        verdict = "**FAIL**" if gate_report.failed else "pass"
+        sections.append(
+            _Section(
+                "Regression gate",
+                ["status", "area", "metric", "baseline", "current", "better"],
+                rows,
+                [f"gate verdict: {verdict}"],
+            )
+        )
+    if counters is not None:
+        sections.append(_counters_section(counters))
+    return sections
+
+
+def render_markdown(sections: List[_Section]) -> str:
+    prov = provenance()
+    out = [
+        "# Benchmark dashboard",
+        "",
+        f"generated at {prov['timestamp']} on {prov['host']} "
+        f"(commit `{prov['git_sha']}`, python {prov['python']})",
+        "",
+    ]
+    for s in sections:
+        out.append(f"## {s.title}")
+        out.append("")
+        for note in s.notes:
+            out.append(f"_{note}_")
+            out.append("")
+        if s.rows:
+            out.append("| " + " | ".join(s.headers) + " |")
+            out.append("|" + "|".join("---" for _ in s.headers) + "|")
+            for row in s.rows:
+                out.append("| " + " | ".join(row) + " |")
+        else:
+            out.append("(no metrics)")
+        out.append("")
+    return "\n".join(out)
+
+
+def render_html(sections: List[_Section]) -> str:
+    prov = provenance()
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        "<title>Benchmark dashboard</title>",
+        "<style>body{font-family:sans-serif;margin:2em}table{border-collapse:collapse}"
+        "td,th{border:1px solid #ccc;padding:4px 8px;font-size:13px;text-align:left}"
+        "th{background:#f0f0f0}em{color:#666}</style></head><body>",
+        "<h1>Benchmark dashboard</h1>",
+        f"<p><em>generated at {html.escape(prov['timestamp'])} on "
+        f"{html.escape(prov['host'])} (commit {html.escape(prov['git_sha'])})</em></p>",
+    ]
+    for s in sections:
+        parts.append(f"<h2>{html.escape(s.title)}</h2>")
+        for note in s.notes:
+            parts.append(f"<p><em>{html.escape(note)}</em></p>")
+        if s.rows:
+            parts.append("<table><tr>")
+            parts.extend(f"<th>{html.escape(h)}</th>" for h in s.headers)
+            parts.append("</tr>")
+            for row in s.rows:
+                parts.append(
+                    "<tr>" + "".join(f"<td>{html.escape(c)}</td>" for c in row) + "</tr>"
+                )
+            parts.append("</table>")
+        else:
+            parts.append("<p>(no metrics)</p>")
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_dashboard(
+    path: str,
+    registry: MetricRegistry,
+    current: Optional[Mapping[str, Mapping[str, float]]] = None,
+    counters: Optional[OpCounters] = None,
+    gate_report=None,
+) -> str:
+    """Write the dashboard to ``path`` (HTML iff the extension says so)."""
+    sections = build_dashboard(registry, current, counters, gate_report)
+    text = (
+        render_html(sections)
+        if path.endswith((".html", ".htm"))
+        else render_markdown(sections)
+    )
+    with open(path, "w") as fh:
+        fh.write(text)
+    return path

@@ -129,7 +129,8 @@ def summary_report(tracer: Optional[Tracer] = None, top: int = 10):
         f"top {top} spans by total wall time",
         headers=["span", "count", "total ms", "mean ms", "max ms"],
     )
-    ranked = sorted(agg.items(), key=lambda kv: -sum(kv[1]))[:top]
+    # Tie-break equal totals by name so report diffs are stable across runs.
+    ranked = sorted(agg.items(), key=lambda kv: (-sum(kv[1]), kv[0]))[:top]
     for name, durs in ranked:
         rep.add_row(
             name,

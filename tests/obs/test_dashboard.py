@@ -1,0 +1,76 @@
+"""Dashboard rendering: sparklines, markdown and HTML output."""
+
+import pytest
+
+from repro.obs.dashboard import (
+    build_dashboard,
+    render_html,
+    render_markdown,
+    sparkline,
+    write_dashboard,
+)
+from repro.obs.metrics import MetricRegistry, OpCounters
+from repro.obs.regress import gate_metrics
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        s = sparkline([1, 2, 3, 4])
+        assert len(s) == 4
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_flat_series_is_mid_blocks(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_short_series_empty(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0]) == ""
+
+
+@pytest.fixture
+def registry(tmp_path):
+    reg = MetricRegistry(str(tmp_path))
+    reg.update("core", {"table2.rate[k=3]": 0.4}, stamp={"git_sha": "r1"})
+    reg.update("core", {"table2.rate[k=3]": 0.42}, stamp={"git_sha": "r2"})
+    return reg
+
+
+class TestRendering:
+    def test_markdown_sections(self, registry):
+        current = {"core": {"table2.rate[k=3]": 0.5, "table2.new[k=5]": 1.0}}
+        report = gate_metrics(current, registry)
+        counters = OpCounters(mults=100, mults_eliminated=300,
+                              half_additions=10, lar_reuse_hits=30)
+        text = render_markdown(build_dashboard(registry, current, counters, report))
+        assert "# Benchmark dashboard" in text
+        assert "## Area `core`" in text
+        assert "## Regression gate" in text
+        assert "## Measured counters" in text
+        assert "table2.rate[k=3]" in text
+        # trend sparkline over history + current value
+        assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+        # counter-derived headline percentages
+        assert "RME eliminated 75.0%" in text
+        assert "LAR+GAR avoided 75.0%" in text
+        # zero-valued counters are omitted from the table
+        assert "dram_row_misses" not in text
+
+    def test_html_is_escaped_and_complete(self, registry):
+        current = {"core": {"table2.rate[k=3]": 0.42}}
+        html_text = render_html(build_dashboard(registry, current))
+        assert html_text.startswith("<!doctype html>")
+        assert html_text.endswith("</body></html>")
+        assert "<table>" in html_text
+        assert "table2.rate[k=3]" in html_text
+
+    def test_unseeded_area_notes_how_to_seed(self, tmp_path):
+        reg = MetricRegistry(str(tmp_path))
+        text = render_markdown(build_dashboard(reg, {"accel": {"fig13.speedup": 3.0}}))
+        assert "no committed baseline yet" in text
+        assert "--bench-update" in text
+
+    def test_write_dashboard_picks_format_by_extension(self, registry, tmp_path):
+        md = write_dashboard(str(tmp_path / "d.md"), registry)
+        assert "# Benchmark dashboard" in open(md).read()
+        html_path = write_dashboard(str(tmp_path / "d.html"), registry)
+        assert open(html_path).read().startswith("<!doctype html>")
