@@ -38,6 +38,7 @@ from repro.compiler.passes import (
     FuseConvPoolPass,
     QuantizePass,
     PrunePass,
+    ReorderDivergenceProbePass,
 )
 from repro.compiler.pipeline import (
     Pipeline,
@@ -70,6 +71,7 @@ __all__ = [
     "FuseConvPoolPass",
     "QuantizePass",
     "PrunePass",
+    "ReorderDivergenceProbePass",
     "Pipeline",
     "PassManager",
     "PassRecord",

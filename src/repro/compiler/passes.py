@@ -16,7 +16,15 @@ pass               preserves semantics   preserves params
 ``fuse``           **yes** (exact)       yes (shared)
 ``quantize``       no (k-bit rounding)   yes (shared)
 ``prune``          no (zeroed weights)   yes (count only)
+``reorder-probe``  **yes** (read-only)   yes
 =================  ====================  =================
+
+``reorder-probe`` is the validation counterpart of ``reorder``: it
+mutates nothing, but *measures* the per-layer and end-to-end divergence
+between the two activation orders on the context's probe batch
+(:func:`repro.obs.numerics.reorder_divergence`) and stores the result
+in ``ctx.state["reorder_divergence"]`` — the quantified version of the
+paper's "negligible accuracy impact" claim, recorded at compile time.
 """
 
 from __future__ import annotations
@@ -211,3 +219,49 @@ class PrunePass(Pass):
 
     def signature(self) -> str:
         return f"{self.name}({self.sparsity if self.sparsity is not None else 'ctx'})"
+
+
+@register_pass
+class ReorderDivergenceProbePass(Pass):
+    """Measure act/pool reorder divergence on the probe batch (read-only).
+
+    Runs the model in both activation orders on ``ctx.probe_batch()``
+    and records per-layer max-abs deviation, end-to-end max-abs
+    deviation and the top-1 flip rate into
+    ``ctx.state["reorder_divergence"]``, any enabled numerics
+    collectors, and a tracer event.  The model is left exactly as it
+    was (orders and train/eval mode restored), so the pass is
+    semantics- and parameter-preserving by construction.
+    """
+
+    name = "reorder-probe"
+    preserves_semantics = True
+    preserves_params = True
+
+    def applies_to(self, model: Module) -> bool:
+        return bool(conv_pool_blocks(model))
+
+    def run(self, model: Module, ctx: CompileContext) -> PassResult:
+        from repro.obs.numerics import active_collectors, reorder_divergence
+        from repro.obs.tracer import event
+
+        result = reorder_divergence(model, ctx.probe_batch())
+        ctx.state["reorder_divergence"] = result
+        for collector in active_collectors():
+            collector.divergence = result
+        event(
+            "compile.reorder_divergence",
+            category="compiler",
+            end_to_end_max_abs=result["end_to_end_max_abs"],
+            top1_flip_rate=result["top1_flip_rate"],
+            layers=result["layers"],
+        )
+        return PassResult(
+            self.name,
+            0,
+            {
+                "end_to_end_max_abs": result["end_to_end_max_abs"],
+                "top1_flip_rate": result["top1_flip_rate"],
+                "layers": result["layers"],
+            },
+        )

@@ -257,26 +257,38 @@ class Pipeline:
 PassManager = Pipeline
 
 
-def mlcnn_pipeline(bits: int = 0, sparsity: float = 0.0, strict: bool = True) -> Pipeline:
+def mlcnn_pipeline(
+    bits: int = 0,
+    sparsity: float = 0.0,
+    strict: bool = True,
+    probe_divergence: bool = False,
+) -> Pipeline:
     """The canonical MLCNN preparation pipeline (Sections III-IV, VII).
 
     ``set-pooling(avg)`` -> ``reorder`` -> ``fuse`` [-> ``prune``]
     [-> ``quantize(bits)``] — the sequence :func:`repro.core.transform
     .prepare_mlcnn` has always applied, now as composable passes.
+    ``probe_divergence=True`` inserts the read-only ``reorder-probe``
+    validation pass right after ``reorder``, quantifying what the
+    reordering changed on the probe batch
+    (``ctx.state["reorder_divergence"]``).
     """
     from repro.compiler.passes import (
         FuseConvPoolPass,
         PrunePass,
         QuantizePass,
         ReorderActivationPoolingPass,
+        ReorderDivergenceProbePass,
         SetPoolingPass,
     )
 
     passes: List[Pass] = [
         SetPoolingPass("avg"),
         ReorderActivationPoolingPass(),
-        FuseConvPoolPass(strict=strict),
     ]
+    if probe_divergence:
+        passes.append(ReorderDivergenceProbePass())
+    passes.append(FuseConvPoolPass(strict=strict))
     if sparsity:
         passes.append(PrunePass(sparsity))
     if bits:

@@ -12,6 +12,15 @@ Weights are squashed with ``tanh`` to [-1, 1] before quantization
 (Eq. 9); activations in [0, 1] use Eq. 8 directly.  The STE passes
 gradients through the rounding unchanged, so quantized models remain
 trainable with the same optimizer.
+
+When a :class:`repro.obs.numerics.NumericsCollector` is enabled, the
+quantizers report health events: the activation clip rate (fraction of
+values outside [0, 1] before Eq. 8), the activation full-scale
+saturation rate (fraction rounding to exactly 1.0) and the weight
+saturation rate (fraction landing on ±1).  Saturation rates rise as
+``k`` shrinks and are the per-layer early-warning signal for the
+quantization accuracy cliff (see EXPERIMENTS.md).  Disabled, the cost
+is one truthiness check per call.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from repro.models.blocks import ConvBlock
 from repro.nn import functional as F
 from repro.nn.layers import Module
 from repro.nn.tensor import Tensor, make_node, send_grad
+from repro.obs.numerics import _ACTIVE, record_quant_event
 
 
 def quantize_k(r: np.ndarray, k: int) -> np.ndarray:
@@ -43,14 +53,26 @@ def quantize_weights(w: np.ndarray, k: int) -> np.ndarray:
         return np.asarray(w, dtype=np.float64)
     t = np.tanh(np.asarray(w))
     denom = 2.0 * np.abs(t).max() + 1e-12
-    return 2.0 * quantize_k(t / denom + 0.5, k) - 1.0
+    q = 2.0 * quantize_k(t / denom + 0.5, k) - 1.0
+    if _ACTIVE:
+        record_quant_event(
+            "dorefa.weight_sat", int(np.count_nonzero(np.abs(q) >= 1.0)), q.size
+        )
+    return q
 
 
 def quantize_activations(x: np.ndarray, k: int) -> np.ndarray:
     """Eq. (8) on post-ReLU activations, clipped to [0, 1] first."""
     if k >= 32:
         return np.asarray(x, dtype=np.float64)
-    return quantize_k(np.clip(np.asarray(x), 0.0, 1.0), k)
+    x = np.asarray(x)
+    q = quantize_k(np.clip(x, 0.0, 1.0), k)
+    if _ACTIVE:
+        low = int(np.count_nonzero(x < 0.0))
+        high = int(np.count_nonzero(x > 1.0))
+        record_quant_event("dorefa.act_clip", low + high, x.size, low=low, high=high)
+        record_quant_event("dorefa.act_sat", int(np.count_nonzero(q >= 1.0)), q.size)
+    return q
 
 
 def _ste(x: Tensor, quantized: np.ndarray) -> Tensor:
@@ -109,6 +131,10 @@ class QuantizedConvBlock(Module):
     (Eq. 8) before the convolution, then applies the block's pool and
     activation in the block's configured order.
     """
+
+    #: this forward inlines the wrapped block's computation (no child
+    #: module forward runs), so numerics instrumentation observes here
+    _numerics_leaf = True
 
     def __init__(self, block: ConvBlock, config: QuantConfig, quantize_input: bool = True) -> None:
         super().__init__()

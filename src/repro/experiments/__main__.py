@@ -24,6 +24,18 @@ through the tolerance-policy regression gate (:mod:`repro.obs.regress`)
 against the committed ``BENCH_<area>.json`` baselines and exits
 non-zero on regression; ``--bench-update`` intentionally refreshes the
 baselines, and ``--bench-dashboard`` renders the trend dashboard.
+
+``--numerics [MODEL ...]`` (default: lenet5 vgg16) compiles each model
+through the MLCNN pipeline with the reorder-divergence probe, runs an
+instrumented forward+backward on the probe batch, and prints the
+per-layer numerics health report — streaming activation/gradient
+statistics, DoReFa clip/saturation rates, and the measured reorder
+divergence.  ``--numerics-report PATH`` writes the report as JSON
+(or JSONL for ``.jsonl`` paths); ``--bits`` selects the quantization
+width (default 8)::
+
+    python -m repro.experiments --numerics lenet5 --bits 4 \\
+        --numerics-report numerics.json
 """
 
 from __future__ import annotations
@@ -168,6 +180,21 @@ def main(argv=None) -> int:
         help="with --pipeline: print the full per-pass CompileReport table",
     )
     parser.add_argument(
+        "--numerics",
+        nargs="*",
+        metavar="MODEL",
+        default=None,
+        help="print the per-layer numerics health report for the given "
+        "zoo models (default: lenet5 vgg16) and exit; honours --bits",
+    )
+    parser.add_argument(
+        "--numerics-report",
+        metavar="PATH",
+        default=None,
+        help="with --numerics: also write the report to PATH "
+        "(JSON, or JSONL for .jsonl paths)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -229,6 +256,8 @@ def main(argv=None) -> int:
     try:
         if args.pipeline is not None:
             return _compile_pipeline(args.pipeline, args.bits, args.report)
+        if args.numerics is not None:
+            return _run_numerics(args)
         return _run_suite(parser, args)
     finally:
         if tracing:
@@ -241,6 +270,104 @@ def main(argv=None) -> int:
                 print(f"trace: {n} event(s) -> {args.trace} [{args.trace_format}]")
             if args.trace_summary:
                 print("\n" + obs.summary(tracer))
+
+
+def _run_numerics(args) -> int:
+    """One-command numerics health report (the tentpole CLI surface).
+
+    For each model: compile through the MLCNN pipeline (with the
+    reorder-divergence probe inserted after ``reorder``), instrument
+    the compiled model with a :class:`~repro.obs.numerics
+    .NumericsCollector`, run one forward+backward on the probe batch,
+    and print per-layer streaming statistics, DoReFa clip/saturation
+    rates and the measured reorder divergence.
+    """
+    import json
+
+    import numpy as np
+
+    from repro.compiler import CompileContext, Pipeline
+    from repro.compiler.passes import (
+        QuantizePass,
+        ReorderActivationPoolingPass,
+        ReorderDivergenceProbePass,
+        SetPoolingPass,
+    )
+    from repro.models import MODEL_REGISTRY, build_model
+    from repro.nn import functional as F
+    from repro.nn.tensor import Tensor
+    from repro.obs.numerics import NumericsCollector
+
+    models = args.numerics or ["lenet5", "vgg16"]
+    unknown = [m for m in models if m not in MODEL_REGISTRY]
+    if unknown:
+        print(
+            f"unknown model(s) {unknown}; available: {sorted(MODEL_REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    bits = args.bits or 8
+    combined = {}
+    for name in models:
+        model = build_model(name)
+        ctx = CompileContext(quant_bits=bits)
+        collector = NumericsCollector(watchdog="warn")
+        # no fuse pass: fused blocks can't be DoReFa-wrapped, and the
+        # point here is per-layer quantization health, not speed
+        pipeline = Pipeline(
+            [
+                SetPoolingPass("avg"),
+                ReorderActivationPoolingPass(),
+                ReorderDivergenceProbePass(),
+                QuantizePass(bits),
+            ],
+            name="numerics",
+        )
+        with collector:
+            pipeline.run(model, ctx)
+            obs.instrument_model(model, prefix=name, numerics=collector)
+            x = ctx.probe_batch()
+            model.train()
+            logits = model(Tensor(x))
+            rng = np.random.default_rng(ctx.seed)
+            labels = rng.integers(0, logits.data.shape[-1], size=len(x))
+            loss = F.cross_entropy(logits, labels)
+            loss.backward()
+        print(f"\n-- {name} (INT{bits}) --")
+        print(collector.summary())
+        combined[name] = collector.report()
+    if args.numerics_report:
+        path = args.numerics_report
+        with open(path, "w") as fh:
+            if path.endswith(".jsonl"):
+                for name, rep in combined.items():
+                    for row in rep["layers"]:
+                        fh.write(
+                            json.dumps({"type": "numerics", "model": name, **row}) + "\n"
+                        )
+                    for key, counter in sorted(rep["quant"].items()):
+                        fh.write(
+                            json.dumps(
+                                {"type": "quant_clip", "model": name, "name": key, **counter}
+                            )
+                            + "\n"
+                        )
+                    if rep["divergence"] is not None:
+                        fh.write(
+                            json.dumps(
+                                {"type": "reorder_divergence", "model": name, **rep["divergence"]}
+                            )
+                            + "\n"
+                        )
+                    if rep["anomaly"] is not None:
+                        fh.write(
+                            json.dumps({"type": "anomaly", "model": name, **rep["anomaly"]}) + "\n"
+                        )
+            else:
+                json.dump({"bits": bits, "models": combined}, fh, indent=2)
+                fh.write("\n")
+        print(f"numerics report -> {path}")
+    return 0
 
 
 def _bench_compare(args) -> int:

@@ -30,6 +30,15 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.instrument import deinstrument_model, instrument_model
+from repro.obs.numerics import (
+    NumericsCollector,
+    NumericsError,
+    P2Quantile,
+    TensorStats,
+    Welford,
+    record_quant_event,
+    reorder_divergence,
+)
 from repro.obs.metrics import (
     MetricRegistry,
     OpCounters,
@@ -57,13 +66,18 @@ from repro.obs.tracer import (
 
 __all__ = [
     "MetricRegistry",
+    "NumericsCollector",
+    "NumericsError",
     "OpCounters",
+    "P2Quantile",
     "RegressionReport",
     "RunRecord",
     "SpanEvent",
+    "TensorStats",
     "TolerancePolicy",
     "Tracer",
     "Verdict",
+    "Welford",
     "add",
     "collect_counters",
     "deinstrument_model",
@@ -75,6 +89,8 @@ __all__ = [
     "instrument_model",
     "observe",
     "provenance",
+    "record_quant_event",
+    "reorder_divergence",
     "span",
     "summary",
     "summary_report",

@@ -93,6 +93,49 @@ def _area_section(
     )
 
 
+def _numerics_section(report: Mapping) -> _Section:
+    """Numerics health: per-layer streams, clip counters, divergence."""
+    rows: List[List[str]] = []
+    for row in report.get("layers") or []:
+        rows.append(
+            [
+                f"{row['layer']}.{row['kind']}",
+                f"{int(row['count'])}",
+                f"{row['mean']:.4g}",
+                f"{row['std']:.4g}",
+                f"[{row['min']:.4g}, {row['max']:.4g}]",
+                f"{100 * row['zero_fraction']:.1f}%",
+                f"{int(row['nan'])}/{int(row['inf'])}",
+            ]
+        )
+    notes: List[str] = []
+    for name, counter in sorted((report.get("quant") or {}).items()):
+        notes.append(
+            f"quant `{name}`: {counter['clipped']}/{counter['total']} clipped "
+            f"({100 * counter['rate']:.2f}%)"
+        )
+    div = report.get("divergence")
+    if div:
+        notes.append(
+            f"reorder divergence: end-to-end max|dev| {div['end_to_end_max_abs']:.4g}, "
+            f"top-1 flips {100 * div['top1_flip_rate']:.1f}% "
+            f"over {div['layers']} pooled layer(s)"
+        )
+    anomaly = report.get("anomaly")
+    if anomaly:
+        notes.append(
+            f"**ANOMALY**: {anomaly['layer']}.{anomaly['kind']} "
+            f"({anomaly['nan']} NaN, {anomaly['inf']} inf) "
+            f"at epoch {anomaly['epoch']}, batch {anomaly['batch']}"
+        )
+    return _Section(
+        "Numerics health",
+        ["stream", "count", "mean", "std", "range", "zeros", "nan/inf"],
+        rows,
+        notes,
+    )
+
+
 def _counters_section(counters: OpCounters) -> _Section:
     rows = [[name, f"{value:.6g}"] for name, value in counters.as_dict().items() if value]
     denom = counters.mults + counters.mults_eliminated
@@ -112,12 +155,20 @@ def build_dashboard(
     current: Optional[Mapping[str, Mapping[str, float]]] = None,
     counters: Optional[OpCounters] = None,
     gate_report=None,
+    numerics: Optional[Mapping] = None,
 ) -> List[_Section]:
-    """Assemble dashboard sections (shared by both output formats)."""
+    """Assemble dashboard sections (shared by both output formats).
+
+    ``numerics`` is a :meth:`NumericsCollector.report()
+    <repro.obs.numerics.NumericsCollector.report>` document; when given
+    it renders as a "Numerics health" section.
+    """
     sections: List[_Section] = []
     areas = sorted(set(registry.areas()) | set(current or {}))
     for area in areas:
         sections.append(_area_section(registry, area, (current or {}).get(area)))
+    if numerics is not None:
+        sections.append(_numerics_section(numerics))
     if gate_report is not None:
         order = {"regressed": 0, "invalid": 1, "improved": 2, "ok": 3,
                  "missing_baseline": 4, "missing_current": 5}
@@ -209,9 +260,10 @@ def write_dashboard(
     current: Optional[Mapping[str, Mapping[str, float]]] = None,
     counters: Optional[OpCounters] = None,
     gate_report=None,
+    numerics: Optional[Mapping] = None,
 ) -> str:
     """Write the dashboard to ``path`` (HTML iff the extension says so)."""
-    sections = build_dashboard(registry, current, counters, gate_report)
+    sections = build_dashboard(registry, current, counters, gate_report, numerics)
     text = (
         render_html(sections)
         if path.endswith((".html", ".htm"))

@@ -12,10 +12,16 @@ reverse pass records ``<name>.backward`` spans.  (For the layers in
 :mod:`repro.nn`, that closure performs essentially all of the layer's
 backward arithmetic.)
 
-The wrappers check ``tracer.enabled`` first and delegate straight to
-the original ``forward`` when tracing is off, keeping an instrumented
-model usable on the hot path; :func:`deinstrument_model` removes the
-wrappers entirely.
+Passing ``numerics=`` attaches a
+:class:`~repro.obs.numerics.NumericsCollector` through the same
+wrappers: each leaf's forward output and backward gradient are folded
+into streaming per-layer statistics, and quantized paths executing
+inside a layer's forward get attributed to it.
+
+The wrappers check ``tracer.enabled`` (and ``numerics.enabled``) first
+and delegate straight to the original ``forward`` when both are off,
+keeping an instrumented model usable on the hot path;
+:func:`deinstrument_model` removes the wrappers entirely.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from typing import Optional
 
 from repro.nn.layers import Module
 from repro.nn.tensor import Tensor
+from repro.obs.numerics import NumericsCollector
 from repro.obs.tracer import Tracer, get_tracer
 
 __all__ = ["instrument_model", "deinstrument_model"]
@@ -32,10 +39,15 @@ __all__ = ["instrument_model", "deinstrument_model"]
 _ORIG_ATTR = "_obs_orig_forward"
 
 
-def _wrap_backward(out: Tensor, label: str, tracer: Tracer) -> None:
+def _wrap_backward(
+    out: Tensor, label: str, tracer: Tracer, numerics: Optional[NumericsCollector]
+) -> None:
     orig_bw = out._backward
 
     def traced_backward(grad) -> None:
+        watch = numerics is not None and numerics.enabled
+        if watch:
+            numerics.observe(label, "backward", grad)
         if not tracer.enabled:
             return orig_bw(grad)
         with tracer.span(label + ".backward", category="nn"):
@@ -44,18 +56,36 @@ def _wrap_backward(out: Tensor, label: str, tracer: Tracer) -> None:
     out._backward = traced_backward
 
 
-def _wrap_forward(mod: Module, label: str, tracer: Tracer) -> None:
+def _wrap_forward(
+    mod: Module, label: str, tracer: Tracer, numerics: Optional[NumericsCollector]
+) -> None:
     orig = mod.forward
-    is_leaf = not mod._modules
+    # Modules that inline their children's computation (e.g.
+    # QuantizedConvBlock) set ``_numerics_leaf``: no child forward runs
+    # inside them, so they are the observation point themselves.
+    is_leaf = not mod._modules or getattr(mod, "_numerics_leaf", False)
     cls_name = type(mod).__name__
 
     def traced_forward(*args, **kwargs):
-        if not tracer.enabled:
+        watch = numerics is not None and numerics.enabled
+        if not tracer.enabled and not watch:
             return orig(*args, **kwargs)
-        with tracer.span(label + ".forward", category="nn", cls=cls_name):
-            out = orig(*args, **kwargs)
-        if is_leaf and isinstance(out, Tensor) and out._backward is not None:
-            _wrap_backward(out, label, tracer)
+        if watch:
+            numerics._push_layer(label)
+        try:
+            if tracer.enabled:
+                with tracer.span(label + ".forward", category="nn", cls=cls_name):
+                    out = orig(*args, **kwargs)
+            else:
+                out = orig(*args, **kwargs)
+        finally:
+            if watch:
+                numerics._pop_layer()
+        if is_leaf and isinstance(out, Tensor):
+            if watch:
+                numerics.observe(label, "forward", out.data)
+            if out._backward is not None:
+                _wrap_backward(out, label, tracer, numerics)
         return out
 
     object.__setattr__(mod, _ORIG_ATTR, orig)
@@ -63,22 +93,28 @@ def _wrap_forward(mod: Module, label: str, tracer: Tracer) -> None:
 
 
 def instrument_model(
-    model: Module, tracer: Optional[Tracer] = None, prefix: str = ""
+    model: Module,
+    tracer: Optional[Tracer] = None,
+    prefix: str = "",
+    numerics: Optional[NumericsCollector] = None,
 ) -> Module:
     """Attach forward/backward spans to every module of ``model``.
 
     Span names are the dotted module paths from ``named_modules()``
     (``features.0.forward`` …), optionally under ``prefix``.  The root
     module's span is ``prefix`` itself, or the lowercased class name
-    when no prefix is given.  Idempotent: already-instrumented modules
-    are left alone.  Returns ``model``.
+    when no prefix is given.  When ``numerics`` is given, leaf forward
+    outputs and backward gradients additionally feed its streaming
+    per-layer statistics whenever the collector is enabled.  Idempotent:
+    already-instrumented modules are left alone (so pass ``numerics``
+    at first instrumentation).  Returns ``model``.
     """
     tracer = tracer or get_tracer()
     for name, mod in model.named_modules():
         if getattr(mod, _ORIG_ATTR, None) is not None:
             continue
         label = ".".join(p for p in (prefix, name) if p) or type(mod).__name__.lower()
-        _wrap_forward(mod, label, tracer)
+        _wrap_forward(mod, label, tracer, numerics)
     return model
 
 

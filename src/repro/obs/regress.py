@@ -68,8 +68,13 @@ class TolerancePolicy:
 
 #: exact-key or prefix policies (longest prefix wins). Wall-clock
 #: throughput varies wildly across CI hosts: advisory with a wide band.
+#: Numerics health metrics (clip rates, reorder divergence) are
+#: lower-is-better and deterministic given seeds — drifting upward past
+#: 25% of baseline means quantization or reordering got numerically
+#: worse, which fails the gate like a performance regression.
 POLICY_OVERRIDES: Dict[str, TolerancePolicy] = {
     "kernel.": TolerancePolicy(direction="higher", rel_tol=0.90, required=False),
+    "numerics.": TolerancePolicy(direction="lower", rel_tol=0.25, abs_tol=1e-6),
 }
 
 #: metric-name keywords implying lower-is-better when no policy matches

@@ -19,9 +19,39 @@ from repro.nn import functional as F
 from repro.nn.layers import Module
 from repro.nn.optim import Adam, LRSchedule, Optimizer, SGD
 from repro.nn.tensor import Tensor, no_grad
+from repro.obs.numerics import NumericsCollector
 from repro.obs.tracer import get_tracer
 
 logger = logging.getLogger("repro.train")
+
+#: the one fallback handler this module ever attaches (see
+#: :func:`_ensure_train_logging`)
+_LOG_HANDLER: Optional[logging.Handler] = None
+
+
+def _ensure_train_logging() -> None:
+    """Give verbose training logs exactly one output, once per process.
+
+    If the application configured logging (handlers on the root logger
+    or on ``repro.train``), respect it and do nothing.  Otherwise
+    attach a single fallback ``StreamHandler`` and stop propagation —
+    guarded by a module-level sentinel so repeated ``fit()`` calls in
+    one process (tests, sweeps) never stack handlers or double-emit.
+    """
+    global _LOG_HANDLER
+    if _LOG_HANDLER is not None:
+        if _LOG_HANDLER in logger.handlers:
+            return
+        _LOG_HANDLER = None  # removed externally; re-evaluate
+    if logger.handlers or logging.getLogger().handlers:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    if logger.level == logging.NOTSET:
+        logger.setLevel(logging.INFO)
+    logger.propagate = False
+    _LOG_HANDLER = handler
 
 
 @dataclass
@@ -76,7 +106,18 @@ def evaluate(model: Module, dataset: ArrayDataset, batch_size: int = 128):
 
 
 class Trainer:
-    """Fit a model on a dataset; records per-epoch statistics."""
+    """Fit a model on a dataset; records per-epoch statistics.
+
+    Pass a :class:`repro.obs.numerics.NumericsCollector` as
+    ``numerics`` to watch training health: the collector is enabled for
+    the duration of :meth:`fit`, every anomaly is stamped with the
+    (epoch, batch) position, and each batch loss runs through the
+    NaN/inf watchdog — with policy ``"raise"``, a diverging run stops
+    at the first non-finite value, naming the offending layer (when the
+    model is instrumented via
+    :func:`repro.obs.instrument_model(..., numerics=...)
+    <repro.obs.instrument.instrument_model>`) or the loss itself.
+    """
 
     def __init__(
         self,
@@ -86,11 +127,13 @@ class Trainer:
         config: Optional[TrainConfig] = None,
         schedule_factory: Optional[Callable[[Optimizer], LRSchedule]] = None,
         transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        numerics: Optional[NumericsCollector] = None,
     ) -> None:
         self.model = model
         self.train_set = train_set
         self.val_set = val_set
         self.transform = transform
+        self.numerics = numerics
         self.config = config or TrainConfig()
         cfg = self.config
         if cfg.optimizer == "sgd":
@@ -111,6 +154,21 @@ class Trainer:
 
     def fit(self) -> List[EpochStats]:
         cfg = self.config
+        if cfg.verbose:
+            _ensure_train_logging()
+        watch = self.numerics
+        owns_watch = watch is not None and not watch.enabled
+        if owns_watch:
+            watch.enable()
+        try:
+            return self._fit_loop()
+        finally:
+            if owns_watch:
+                watch.disable()
+
+    def _fit_loop(self) -> List[EpochStats]:
+        cfg = self.config
+        watch = self.numerics
         tracer = get_tracer()
         loader = DataLoader(
             self.train_set,
@@ -127,7 +185,9 @@ class Trainer:
                     self.model.train()
                     total_loss = 0.0
                     total_n = 0
-                    for images, labels in loader:
+                    for batch_idx, (images, labels) in enumerate(loader):
+                        if watch is not None:
+                            watch.set_context(epoch=epoch, batch=batch_idx)
                         with tracer.span(
                             "train.batch", category="train", samples=len(labels)
                         ):
@@ -136,7 +196,10 @@ class Trainer:
                             self.optimizer.zero_grad()
                             loss.backward()
                             self.optimizer.step()
-                        total_loss += loss.item() * len(labels)
+                        batch_loss = loss.item()
+                        if watch is not None:
+                            watch.check_value("train", "loss", batch_loss)
+                        total_loss += batch_loss * len(labels)
                         total_n += len(labels)
                     train_wall = time.perf_counter() - epoch_start
                     if self.schedule is not None:

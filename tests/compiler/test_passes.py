@@ -7,17 +7,29 @@ from repro.compiler import (
     AllConvPass,
     CompileContext,
     FuseConvPoolPass,
+    Pipeline,
     QuantizePass,
     ReorderActivationPoolingPass,
+    ReorderDivergenceProbePass,
     RestoreOrderPass,
     SetPoolingPass,
     available_passes,
     get_pass,
+    mlcnn_pipeline,
 )
 from repro.models import build_model
 from repro.nn.tensor import Tensor, no_grad
 
-BUILTIN = ["set-pooling", "reorder", "restore-order", "to-allconv", "fuse", "quantize", "prune"]
+BUILTIN = [
+    "set-pooling",
+    "reorder",
+    "restore-order",
+    "to-allconv",
+    "fuse",
+    "quantize",
+    "prune",
+    "reorder-probe",
+]
 
 
 class TestRegistry:
@@ -112,3 +124,48 @@ class TestAllConvDeterminism:
             with no_grad():
                 outs.append(model(x).data)
         assert not np.allclose(outs[0], outs[1])
+
+
+class TestReorderDivergenceProbe:
+    """The read-only reorder-probe pass (PR 5)."""
+
+    def test_model_left_untouched(self):
+        model = build_model("lenet5", seed=0, pooling="avg")
+        ctx = CompileContext(seed=0)
+        ref = model(Tensor(ctx.probe_batch())).data
+        result = ReorderDivergenceProbePass().run(model, ctx)
+        assert result.rewrites == 0
+        np.testing.assert_array_equal(model(Tensor(ctx.probe_batch())).data, ref)
+
+    def test_populates_ctx_state_and_details(self):
+        model = build_model("lenet5", seed=0, pooling="avg")
+        ctx = CompileContext(seed=0)
+        result = ReorderDivergenceProbePass().run(model, ctx)
+        for key in ("end_to_end_max_abs", "top1_flip_rate", "layers"):
+            assert key in result.details
+        stored = ctx.state["reorder_divergence"]
+        assert stored["end_to_end_max_abs"] == result.details["end_to_end_max_abs"]
+        assert stored["layers"] == 2
+        assert stored["end_to_end_max_abs"] > 0.0  # avg pooling: real divergence
+
+    def test_not_applicable_without_pooled_blocks(self):
+        from repro.models.reorder import conv_pool_blocks
+
+        model = build_model("lenet5", seed=0)
+        for block in conv_pool_blocks(model):
+            block.pool = None
+        assert not ReorderDivergenceProbePass().applies_to(model)
+
+    def test_passes_pipeline_validation(self):
+        """The probe claims preserves_semantics — the pipeline's own
+        probe-batch validation must agree (max|dev| 0)."""
+        model = build_model("lenet5", seed=0, pooling="avg")
+        pipe = Pipeline([ReorderDivergenceProbePass()], name="probe-only")
+        _, report = pipe.run(model, CompileContext(seed=0))
+        assert report.records[0].validated
+
+    def test_mlcnn_pipeline_opt_in(self):
+        names = [p.name for p in mlcnn_pipeline(bits=8, probe_divergence=True).passes]
+        assert "reorder-probe" in names
+        assert names.index("reorder-probe") > names.index("reorder")
+        assert "reorder-probe" not in [p.name for p in mlcnn_pipeline(bits=8).passes]

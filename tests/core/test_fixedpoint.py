@@ -5,7 +5,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.fixedpoint import (
+    IntPathStats,
     QuantizedTensor,
+    accumulator_bound,
     fused_conv_pool_int,
     int_path_error_bound,
     quantization_error_bound,
@@ -13,6 +15,7 @@ from repro.core.fixedpoint import (
 )
 from repro.core.fusion import fused_conv_pool
 from repro.nn.tensor import Tensor, no_grad
+from repro.obs.numerics import NumericsCollector
 
 
 @pytest.fixture
@@ -54,6 +57,143 @@ class TestQuantizeTensor:
             QuantizedTensor(np.array([1], dtype=np.int8), -1.0, 8)
         with pytest.raises(ValueError):
             QuantizedTensor(np.array([1], dtype=np.int8), 1.0, 1)
+
+
+class TestClippingSurfaced:
+    """Satellite fix: symmetric-range clipping is counted and enters the
+    error bound instead of being silently wrapped into it (same pattern
+    as the PR 4 opcount cross-check: measured counter vs analytic
+    prediction)."""
+
+    def test_self_calibrated_never_clips(self, rng):
+        qt = quantize_tensor(rng.normal(size=1000), bits=8)
+        assert qt.clipped == 0
+        assert qt.clip_excess == 0.0
+        assert quantization_error_bound(qt) == 0.5 * qt.scale
+
+    def test_calibrated_amax_counts_exact_clips(self, rng):
+        """The measured clip counter equals the analytic count of values
+        whose rounded magnitude exceeds qmax."""
+        x = rng.normal(size=1000)
+        amax = 1.0
+        qt = quantize_tensor(x, bits=8, amax=amax)
+        scale = amax / 127
+        expected = int(np.count_nonzero(np.abs(np.round(x / scale)) > 127))
+        assert qt.clipped == expected
+        assert qt.clipped > 0  # normal samples do exceed |1| at n=1000
+        assert qt.clip_excess == pytest.approx(np.abs(x).max() - amax)
+
+    def test_error_bounded_by_widened_bound_only(self, rng):
+        """Roundtrip error respects the clip-aware bound and *violates*
+        the old rounding-only bound — proof the fix was needed."""
+        x = rng.normal(size=1000)
+        x[0] = 6.0  # guaranteed far outside the calibrated range
+        qt = quantize_tensor(x, bits=8, amax=1.0)
+        err = np.abs(qt.dequantize() - x).max()
+        assert err <= quantization_error_bound(qt) + 1e-12
+        assert err > 0.5 * qt.scale  # the old bound is insufficient
+
+    def test_generous_amax_matches_self_calibration(self, rng):
+        x = rng.normal(size=100)
+        amax = float(np.abs(x).max())
+        qt = quantize_tensor(x, bits=8, amax=amax)
+        assert qt.clipped == 0
+        np.testing.assert_array_equal(
+            qt.values, quantize_tensor(x, bits=8).values
+        )
+
+    def test_invalid_amax_rejected(self, rng):
+        with pytest.raises(ValueError):
+            quantize_tensor(rng.normal(size=10), bits=8, amax=0.0)
+        with pytest.raises(ValueError):
+            quantize_tensor(rng.normal(size=10), bits=8, amax=-1.0)
+
+    def test_clip_events_reach_enabled_collector(self, rng):
+        x = rng.normal(size=1000)
+        col = NumericsCollector()
+        with col:
+            qt = quantize_tensor(x, bits=8, amax=0.5)
+        assert qt.clipped > 0
+        counter = col.quant["fixedpoint.quantize"]
+        assert counter.clipped == qt.clipped
+        assert counter.total == x.size
+
+
+class TestAccumulatorAndRequant:
+    def test_acc_max_within_analytic_bound(self, rng):
+        x = rng.normal(size=(3, 12, 12))
+        w = rng.normal(size=(4, 3, 3, 3))
+        qx, qw = quantize_tensor(x, 8), quantize_tensor(w, 8)
+        stats = IntPathStats()
+        fused_conv_pool_int(qx, qw, stats=stats)
+        assert 0 < stats.acc_max_abs <= accumulator_bound(qx, qw, pool=2)
+        assert stats.acc_overflows == 0  # 32-bit accumulators are ample here
+        assert stats.acc_total > 0
+
+    def test_adversarial_full_scale_reaches_bound_exactly(self):
+        """All-ones-at-qmax tensors drive every accumulator to exactly
+        the analytic bound — the measured/analytic cross-check is tight."""
+        pool, k, c, m = 2, 3, 2, 1
+        h = k + pool * 2 - 1  # two pooled outputs per side
+        qx = QuantizedTensor(np.full((c, h, h), 127, dtype=np.int8), 0.01, 8)
+        qw = QuantizedTensor(np.full((m, c, k, k), 127, dtype=np.int8), 0.01, 8)
+        stats = IntPathStats()
+        fused_conv_pool_int(qx, qw, stats=stats)
+        assert stats.acc_max_abs == accumulator_bound(qx, qw, pool=pool)
+
+    def test_narrow_accumulator_counts_overflows(self, rng):
+        """With a deliberately narrow nominal accumulator, the would-be
+        overflow counter fires (arithmetic stays exact in int64)."""
+        x = rng.normal(size=(3, 12, 12))
+        w = rng.normal(size=(4, 3, 3, 3))
+        qx, qw = quantize_tensor(x, 8), quantize_tensor(w, 8)
+        stats = IntPathStats()
+        out = fused_conv_pool_int(qx, qw, acc_bits=8, stats=stats)
+        assert stats.acc_bits == 8
+        assert stats.acc_overflows > 0
+        assert stats.overflow_rate <= 1.0
+        # the result itself is unchanged by the nominal width
+        np.testing.assert_array_equal(out, fused_conv_pool_int(qx, qw))
+
+    def test_requantization_clipping_counted(self, rng):
+        x = rng.normal(size=(3, 12, 12))
+        w = rng.normal(size=(4, 3, 3, 3))
+        qx, qw = quantize_tensor(x, 8), quantize_tensor(w, 8)
+        ref = fused_conv_pool_int(qx, qw)
+        # calibrated output range at half the actual max: must clip
+        stats = IntPathStats()
+        out = fused_conv_pool_int(
+            qx, qw, out_bits=8, out_amax=float(ref.max()) / 2, stats=stats
+        )
+        assert stats.requant_clipped > 0
+        assert stats.requant_total == ref.size
+        assert out.max() <= float(ref.max()) / 2 + 1e-9
+        # self-calibrated requantization does not clip
+        stats2 = IntPathStats()
+        fused_conv_pool_int(qx, qw, out_bits=8, stats=stats2)
+        assert stats2.requant_clipped == 0
+
+    def test_counters_reach_enabled_collector(self, rng):
+        x = rng.normal(size=(3, 12, 12))
+        w = rng.normal(size=(4, 3, 3, 3))
+        qx, qw = quantize_tensor(x, 8), quantize_tensor(w, 8)
+        col = NumericsCollector()
+        with col:
+            fused_conv_pool_int(qx, qw, acc_bits=8, out_bits=4)
+        assert "fixedpoint.acc_overflow" in col.quant
+        assert "fixedpoint.requant_clip" in col.quant
+        assert col.quant["fixedpoint.acc_overflow"].clipped > 0
+
+    def test_int_path_bound_still_holds_with_stats(self, rng):
+        """Collecting stats must not perturb the arithmetic: the
+        measured error stays within int_path_error_bound."""
+        x = rng.normal(size=(3, 12, 12))
+        w = rng.normal(size=(4, 3, 3, 3)) * 0.5
+        qx, qw = quantize_tensor(x, 8), quantize_tensor(w, 8)
+        got = fused_conv_pool_int(qx, qw, stats=IntPathStats())
+        with no_grad():
+            ref = fused_conv_pool(Tensor(x[None]), Tensor(w), None, pool=2).data[0]
+        assert np.abs(got - ref).max() <= int_path_error_bound(qx, qw)
 
 
 class TestIntFusedKernel:

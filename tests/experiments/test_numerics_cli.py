@@ -1,0 +1,54 @@
+"""The ``--numerics`` CLI surface: one command, full health report.
+
+Acceptance criterion of PR 5: ``python -m repro.experiments --numerics``
+must produce a per-layer report covering forward *and* backward
+statistics, quantized-path clip rates, and the measured reorder
+divergence — and ``--numerics-report`` must persist it in both JSON
+and JSONL shapes.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestNumericsCLI:
+    def test_lenet_report_json(self, tmp_path, capsys):
+        out = tmp_path / "numerics.json"
+        rc = main(["--numerics", "lenet5", "--numerics-report", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "lenet5" in printed
+        doc = json.loads(out.read_text())
+        assert doc["bits"] == 8
+        rep = doc["models"]["lenet5"]
+        kinds = {row["kind"] for row in rep["layers"]}
+        assert kinds == {"forward", "backward"}
+        assert any(k.endswith("dorefa.act_clip") for k in rep["quant"])
+        assert any(k.endswith("dorefa.weight_sat") for k in rep["quant"])
+        div = rep["divergence"]
+        assert div["layers"] == 2
+        assert div["end_to_end_max_abs"] > 0.0  # avg pooling genuinely diverges
+        assert rep["anomaly"] is None
+
+    def test_jsonl_rows_typed_and_model_tagged(self, tmp_path):
+        out = tmp_path / "numerics.jsonl"
+        rc = main(["--numerics", "lenet5", "--numerics-report", str(out)])
+        assert rc == 0
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        types = {row["type"] for row in rows}
+        assert {"numerics", "quant_clip", "reorder_divergence"} <= types
+        assert all(row["model"] == "lenet5" for row in rows)
+
+    def test_honours_bits(self, tmp_path):
+        out = tmp_path / "n.json"
+        rc = main(["--numerics", "lenet5", "--bits", "4", "--numerics-report", str(out)])
+        assert rc == 0
+        assert json.loads(out.read_text())["bits"] == 4
+
+    def test_unknown_model_rejected(self, capsys):
+        rc = main(["--numerics", "resnet999"])
+        assert rc == 2
+        assert "unknown model" in capsys.readouterr().err

@@ -1,0 +1,209 @@
+"""Streaming estimators vs exact numpy references (satellite of PR 5).
+
+Welford mean/std (batched updates and cross-shard merges) must match
+``numpy`` to floating-point accuracy on adversarial distributions;
+P² percentile estimates must land close to the exact quantile in
+empirical-CDF terms.  TensorStats must keep NaN/inf contamination out
+of the finite-value statistics while counting it exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.numerics import P2Quantile, TensorStats, Welford
+
+RNG = np.random.default_rng(1234)
+
+
+def _distributions():
+    n = 20_000
+    return {
+        "normal": RNG.normal(size=n),
+        "constant": np.full(n, 3.25),
+        "bimodal": np.concatenate(
+            [RNG.normal(-5.0, 0.3, n // 2), RNG.normal(5.0, 0.3, n - n // 2)]
+        ),
+        "heavy_tailed": RNG.standard_cauchy(size=n),
+        "uniform": RNG.uniform(-1.0, 2.0, size=n),
+    }
+
+
+DISTS = _distributions()
+
+
+@pytest.mark.parametrize("name", sorted(DISTS))
+class TestWelford:
+    def test_batched_updates_match_numpy(self, name):
+        data = DISTS[name]
+        w = Welford()
+        for chunk in np.array_split(data, 13):
+            w.update(chunk)
+        assert w.n == data.size
+        assert w.mean == pytest.approx(data.mean(), rel=1e-10, abs=1e-10)
+        assert w.std == pytest.approx(data.std(), rel=1e-9, abs=1e-12)
+        assert w.minimum == data.min()
+        assert w.maximum == data.max()
+
+    def test_merge_across_shards_is_exact(self, name):
+        """Independently built per-shard estimators merge to the global
+        statistics — the property that makes per-batch collection valid."""
+        data = DISTS[name]
+        shards = np.array_split(data, 7)
+        parts = []
+        for shard in shards:
+            w = Welford()
+            # uneven sub-batches inside each shard
+            for chunk in np.array_split(shard, 3):
+                w.update(chunk)
+            parts.append(w)
+        merged = parts[0]
+        for other in parts[1:]:
+            merged.merge(other)
+        assert merged.n == data.size
+        assert merged.mean == pytest.approx(data.mean(), rel=1e-10, abs=1e-10)
+        assert merged.std == pytest.approx(data.std(), rel=1e-9, abs=1e-12)
+        assert merged.minimum == data.min()
+        assert merged.maximum == data.max()
+
+
+def test_welford_empty_and_single():
+    w = Welford()
+    assert w.n == 0 and w.mean == 0.0 and w.std == 0.0
+    w.update(np.array([]))
+    assert w.n == 0
+    w.update(np.array([7.0]))
+    assert w.n == 1
+    assert w.mean == 7.0
+    assert w.std == 0.0
+    assert w.minimum == w.maximum == 7.0
+
+
+def test_welford_merge_empty_is_identity():
+    w = Welford()
+    w.update(np.arange(10.0))
+    before = (w.n, w.mean, w.std)
+    w.merge(Welford())
+    assert (w.n, w.mean, w.std) == before
+
+
+class TestP2Quantile:
+    @pytest.mark.parametrize("q", [0.01, 0.5, 0.99])
+    @pytest.mark.parametrize("name", ["normal", "bimodal", "uniform"])
+    def test_estimate_close_in_cdf_terms(self, name, q):
+        """The estimate's empirical CDF position is within 0.08 of the
+        target quantile (the standard way to judge P² accuracy — the
+        *value* error is unbounded on heavy tails, the rank error isn't)."""
+        data = DISTS[name]
+        est = P2Quantile(q)
+        est.update(data)
+        assert est.n == data.size
+        cdf_at_estimate = np.mean(data <= est.value)
+        assert abs(cdf_at_estimate - q) < 0.08
+
+    def test_median_on_heavy_tailed(self):
+        """Cauchy samples: the median estimate must stay near 0 even
+        though mean/extremes explode."""
+        est = P2Quantile(0.5)
+        est.update(DISTS["heavy_tailed"])
+        cdf_at_estimate = np.mean(DISTS["heavy_tailed"] <= est.value)
+        assert abs(cdf_at_estimate - 0.5) < 0.08
+
+    def test_constant_stream(self):
+        est = P2Quantile(0.5)
+        est.update(np.full(1000, 4.5))
+        assert est.value == 4.5
+
+    def test_exact_for_small_n(self):
+        est = P2Quantile(0.5)
+        for v in [3.0, 1.0, 2.0]:
+            est.add(v)
+        assert est.value == 2.0
+
+    def test_empty_is_nan(self):
+        assert np.isnan(P2Quantile(0.25).value)
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_monotone_markers(self):
+        """Estimates for increasing q from the same stream are ordered."""
+        data = DISTS["normal"]
+        values = []
+        for q in (0.1, 0.5, 0.9):
+            est = P2Quantile(q)
+            est.update(data)
+            values.append(est.value)
+        assert values == sorted(values)
+
+
+class TestTensorStats:
+    def test_counts_and_moments_match_numpy(self):
+        data = DISTS["normal"]
+        ts = TensorStats(percentiles=(0.5,), sample_limit=data.size)
+        for chunk in np.array_split(data, 9):
+            ts.update(chunk)
+        assert ts.count == data.size
+        assert ts.nan_count == 0 and ts.inf_count == 0
+        assert ts.moments.mean == pytest.approx(data.mean(), rel=1e-10)
+        assert ts.moments.std == pytest.approx(data.std(), rel=1e-9)
+
+    def test_inf_contamination_kept_out_of_moments(self):
+        """One inf and one NaN: counted exactly, and mean/std/min/max of
+        the *finite* part are untouched by them."""
+        data = DISTS["uniform"].copy()
+        data[10] = np.inf
+        data[20] = -np.inf
+        data[30] = np.nan
+        finite = data[np.isfinite(data)]
+        ts = TensorStats()
+        nan, inf = ts.update(data)
+        assert (nan, inf) == (1, 2)
+        assert ts.nan_count == 1 and ts.inf_count == 2
+        assert ts.count == data.size
+        assert ts.finite_count == finite.size
+        assert ts.moments.mean == pytest.approx(finite.mean(), rel=1e-10)
+        assert ts.moments.std == pytest.approx(finite.std(), rel=1e-9)
+        assert ts.moments.maximum == finite.max()
+        assert np.isfinite(ts.percentile(0.5))
+
+    def test_zero_fraction(self):
+        arr = np.array([0.0, 0.0, 1.0, -1.0])
+        ts = TensorStats()
+        ts.update(arr)
+        assert ts.zero_fraction == 0.5
+
+    def test_sample_limit_bounds_percentile_work(self):
+        """Huge arrays feed the P² estimators at most sample_limit
+        values per update; moments still see everything."""
+        data = RNG.normal(size=100_000)
+        ts = TensorStats(percentiles=(0.5,), sample_limit=256)
+        ts.update(data)
+        assert ts.moments.n == data.size
+        assert ts.quantiles[0.5].n <= 256
+        # strided subsample of a shuffled stream still estimates well
+        assert abs(np.mean(data <= ts.percentile(0.5)) - 0.5) < 0.1
+
+    def test_no_percentiles_mode(self):
+        ts = TensorStats(percentiles=())
+        ts.update(RNG.normal(size=1000))
+        assert ts.quantiles == {}
+        d = ts.as_dict()
+        assert "p50" not in d
+        assert d["count"] == 1000
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+
+        ts = TensorStats()
+        ts.update(DISTS["uniform"][:100])
+        doc = json.loads(json.dumps(ts.as_dict()))
+        assert doc["count"] == 100
+
+    def test_empty_update(self):
+        ts = TensorStats()
+        assert ts.update(np.array([])) == (0, 0)
+        assert ts.count == 0
+        assert ts.zero_fraction == 0.0

@@ -225,3 +225,176 @@ class TestTrainerAugmentation:
         # even a destructive train transform leaves evaluation inputs intact
         b = evaluate(model, val_set)
         assert a[0] == b[0]
+
+
+class TestLoggerHygiene:
+    """Repeated fit() in one process must never stack handlers or
+    double-emit (the PR 5 logger-hygiene fix)."""
+
+    @pytest.fixture
+    def bare_logging(self):
+        """Simulate a process with no logging configured at all."""
+        import logging
+
+        from repro.train import trainer as trainer_module
+
+        train_logger = logging.getLogger("repro.train")
+        root = logging.getLogger()
+        saved = (
+            list(train_logger.handlers),
+            train_logger.propagate,
+            train_logger.level,
+            list(root.handlers),
+            trainer_module._LOG_HANDLER,
+        )
+        train_logger.handlers.clear()
+        root.handlers.clear()
+        train_logger.propagate = True
+        trainer_module._LOG_HANDLER = None
+        yield train_logger
+        train_logger.handlers.clear()
+        train_logger.handlers.extend(saved[0])
+        train_logger.propagate = saved[1]
+        train_logger.setLevel(saved[2])
+        root.handlers.clear()
+        root.handlers.extend(saved[3])
+        trainer_module._LOG_HANDLER = saved[4]
+
+    def test_fallback_handler_attached_exactly_once(self, bare_logging):
+        import logging
+
+        from repro.train.trainer import _ensure_train_logging
+
+        # pytest re-attaches its capture handler to the root logger at
+        # call-phase start; drop it here so this really is a bare process
+        logging.getLogger().handlers.clear()
+        for _ in range(3):
+            _ensure_train_logging()
+        assert len(bare_logging.handlers) == 1
+        assert bare_logging.propagate is False
+
+    def test_respects_existing_configuration(self, bare_logging):
+        """An application-attached handler means we add nothing — and
+        repeated fits never double-emit through a stacked fallback."""
+        import logging
+
+        from repro.train.trainer import _ensure_train_logging
+
+        records = []
+
+        class _Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        bare_logging.addHandler(_Capture())
+        for _ in range(3):
+            _ensure_train_logging()
+        assert len(bare_logging.handlers) == 1  # only the app's handler
+
+    def test_repeated_verbose_fit_emits_once_per_epoch(self, bare_logging, tiny_split):
+        import logging
+
+        records = []
+
+        class _Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        bare_logging.addHandler(_Capture())
+        bare_logging.setLevel(logging.INFO)
+        train_set, val_set = tiny_split
+        trainer = Trainer(
+            small_model(), train_set, val_set,
+            TrainConfig(epochs=2, batch_size=16, verbose=True),
+        )
+        trainer.fit()
+        n_first = len(records)
+        assert n_first == 2  # one line per epoch
+        trainer2 = Trainer(
+            small_model(), train_set, val_set,
+            TrainConfig(epochs=2, batch_size=16, verbose=True),
+        )
+        trainer2.fit()
+        assert len(records) == n_first + 2  # no double emission
+
+
+class TestTrainerNumerics:
+    def test_collector_enabled_during_fit_and_context_stamped(self, tiny_split):
+        from repro.obs.numerics import NumericsCollector
+
+        train_set, val_set = tiny_split
+        col = NumericsCollector(watchdog="record")
+        trainer = Trainer(
+            small_model(), train_set, val_set,
+            TrainConfig(epochs=1, batch_size=16), numerics=col,
+        )
+        trainer.fit()
+        assert not col.enabled  # disabled again after fit
+        assert col.epoch == 0  # context was stamped during the run
+        assert col.batch is not None
+
+    def test_raise_policy_stops_on_injected_nan(self, tiny_split):
+        """A NaN planted in the weights turns into a NumericsError naming
+        the offending layer and the training position."""
+        from repro.obs import instrument_model
+        from repro.obs.numerics import NumericsCollector, NumericsError
+
+        train_set, val_set = tiny_split
+        model = small_model()
+        col = NumericsCollector(watchdog="raise")
+        instrument_model(model, numerics=col)
+        model[0].weight.data[0, 0, 0, 0] = np.nan
+        trainer = Trainer(
+            model, train_set, val_set,
+            TrainConfig(epochs=1, batch_size=16), numerics=col,
+        )
+        with pytest.raises(NumericsError) as err:
+            trainer.fit()
+        assert err.value.layer == "0"  # the first conv of the Sequential
+        assert "batch 0" in str(err.value)
+        assert not col.enabled  # cleaned up despite the exception
+
+    def test_loss_watchdog_without_instrumentation(self, tiny_split):
+        """Even uninstrumented, a non-finite loss trips the watchdog."""
+        from repro.obs.numerics import NumericsCollector, NumericsError
+
+        train_set, val_set = tiny_split
+        model = small_model()
+        model[0].weight.data[:] = np.nan
+        col = NumericsCollector(watchdog="raise")
+        trainer = Trainer(
+            model, train_set, val_set,
+            TrainConfig(epochs=1, batch_size=16), numerics=col,
+        )
+        with pytest.raises(NumericsError) as err:
+            trainer.fit()
+        assert "train.loss" in str(err.value)
+
+    def test_record_policy_completes_and_records(self, tiny_split):
+        from repro.obs import instrument_model
+        from repro.obs.numerics import NumericsCollector
+
+        train_set, val_set = tiny_split
+        model = small_model()
+        col = NumericsCollector(watchdog="record")
+        instrument_model(model, numerics=col)
+        model[0].weight.data[0, 0, 0, 0] = np.nan
+        trainer = Trainer(
+            model, train_set, val_set,
+            TrainConfig(epochs=1, batch_size=16), numerics=col,
+        )
+        trainer.fit()  # must not raise
+        assert col.first_anomaly is not None
+        assert col.first_anomaly["epoch"] == 0
+
+    def test_healthy_run_records_no_anomaly(self, tiny_split):
+        from repro.obs.numerics import NumericsCollector
+
+        train_set, val_set = tiny_split
+        col = NumericsCollector(watchdog="raise")
+        trainer = Trainer(
+            small_model(), train_set, val_set,
+            TrainConfig(epochs=1, batch_size=16), numerics=col,
+        )
+        trainer.fit()  # raise policy, healthy run: no error
+        assert col.first_anomaly is None
