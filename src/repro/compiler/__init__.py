@@ -40,6 +40,7 @@ from repro.compiler.passes import (
     PrunePass,
     ReorderDivergenceProbePass,
 )
+from repro.compiler.lower import LowerFusedKernelPass, lowered_kernels
 from repro.compiler.pipeline import (
     Pipeline,
     PassManager,
@@ -72,6 +73,8 @@ __all__ = [
     "QuantizePass",
     "PrunePass",
     "ReorderDivergenceProbePass",
+    "LowerFusedKernelPass",
+    "lowered_kernels",
     "Pipeline",
     "PassManager",
     "PassRecord",

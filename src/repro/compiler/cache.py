@@ -17,11 +17,14 @@ the hash, two same-architecture models collide on purpose.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.nn.layers import Module
 
 CacheKey = Tuple[str, str, tuple]
+
+#: module path -> selected kernel spec name, per cache key
+KernelPlan = Dict[str, str]
 
 
 def architecture_signature(model: Module) -> str:
@@ -35,10 +38,20 @@ def architecture_signature(model: Module) -> str:
 
 
 class PlanCache:
-    """Set of compilation keys whose validation already succeeded."""
+    """Set of compilation keys whose validation already succeeded.
+
+    Besides the validation-skip set, the cache stores the *kernel plan*
+    the lowering pass computed for a key (module path -> selected
+    kernel name).  Because the key covers the architecture signature,
+    the full pipeline spec (including the ``lower`` pass's
+    ``impl``/``bits`` signature) and the context knobs, a stored plan
+    can never be replayed for a different lowering configuration or
+    shape class — changing any of them changes the key.
+    """
 
     def __init__(self) -> None:
         self._plans: Dict[CacheKey, int] = {}
+        self._kernel_plans: Dict[CacheKey, KernelPlan] = {}
         self.hits = 0
         self.misses = 0
 
@@ -53,11 +66,21 @@ class PlanCache:
     def add(self, key: CacheKey) -> None:
         self._plans.setdefault(key, 0)
 
+    def store_kernel_plan(self, key: CacheKey, plan: KernelPlan) -> None:
+        """Record the lowering selection computed for ``key``."""
+        self._kernel_plans[key] = dict(plan)
+
+    def kernel_plan(self, key: CacheKey) -> Optional[KernelPlan]:
+        """The stored lowering selection for ``key`` (None if absent)."""
+        plan = self._kernel_plans.get(key)
+        return dict(plan) if plan is not None else None
+
     def __len__(self) -> int:
         return len(self._plans)
 
     def clear(self) -> None:
         self._plans.clear()
+        self._kernel_plans.clear()
         self.hits = 0
         self.misses = 0
 

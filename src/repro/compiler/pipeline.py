@@ -157,6 +157,9 @@ class Pipeline:
         t0 = time.perf_counter()
         signature = architecture_signature(model)
         cache_key = (signature, self.spec(), ctx.cache_key())
+        # Passes that cache per-key derived state (e.g. the lowering
+        # pass's kernel plan) key it off the same tuple validation uses.
+        ctx.state["plan_cache_key"] = cache_key
         cached = ctx.use_cache and PLAN_CACHE.contains(cache_key)
         validate = ctx.validate and not cached
 
@@ -262,17 +265,25 @@ def mlcnn_pipeline(
     sparsity: float = 0.0,
     strict: bool = True,
     probe_divergence: bool = False,
+    lower: bool = True,
+    lower_impl: str = "vectorized",
+    lower_bits: int = 64,
 ) -> Pipeline:
     """The canonical MLCNN preparation pipeline (Sections III-IV, VII).
 
     ``set-pooling(avg)`` -> ``reorder`` -> ``fuse`` [-> ``prune``]
-    [-> ``quantize(bits)``] — the sequence :func:`repro.core.transform
-    .prepare_mlcnn` has always applied, now as composable passes.
+    [-> ``quantize(bits)``] -> ``lower`` — the sequence
+    :func:`repro.core.transform.prepare_mlcnn` has always applied, now
+    as composable passes, terminated by the lowering stage that binds
+    plan-selected vectorized kernels to the fused modules.
     ``probe_divergence=True`` inserts the read-only ``reorder-probe``
     validation pass right after ``reorder``, quantifying what the
     reordering changed on the probe batch
-    (``ctx.state["reorder_divergence"]``).
+    (``ctx.state["reorder_divergence"]``).  ``lower_bits=32`` selects
+    the fp32 NHWC kernel specialization (inexact vs the f64 probe);
+    ``lower=False`` omits the lowering stage entirely.
     """
+    from repro.compiler.lower import LowerFusedKernelPass
     from repro.compiler.passes import (
         FuseConvPoolPass,
         PrunePass,
@@ -293,4 +304,6 @@ def mlcnn_pipeline(
         passes.append(PrunePass(sparsity))
     if bits:
         passes.append(QuantizePass(bits))
+    if lower:
+        passes.append(LowerFusedKernelPass(impl=lower_impl, bits=lower_bits))
     return Pipeline(passes, name="mlcnn")

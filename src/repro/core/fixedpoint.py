@@ -162,6 +162,7 @@ def fused_conv_pool_int(
     out_bits: int = 0,
     out_amax: Optional[float] = None,
     stats: Optional[IntPathStats] = None,
+    impl: str = "vectorized",
 ) -> np.ndarray:
     """Integer fused conv-pool: int box-sum, int MACs, float epilogue.
 
@@ -180,7 +181,16 @@ def fused_conv_pool_int(
     write-back, and counts requantization clipping.  Pass ``stats`` to
     receive the counts; enabled numerics collectors get them either
     way.
+
+    ``impl`` selects the accumulation schedule: ``"vectorized"``
+    (default) runs the single gather + int64 GEMM of
+    :func:`repro.core.kernels.intpath.conv_over_boxsum_int`;
+    ``"reference"`` keeps the per-tap loop.  Integer addition is
+    associative, so the two are **bit-identical** — accumulator values,
+    overflow counts, and requant clipping included.
     """
+    if impl not in ("vectorized", "reference"):
+        raise ValueError(f"impl must be 'vectorized' or 'reference', got {impl!r}")
     xi = x.values.astype(ACC_DTYPE)
     wi = w.values.astype(ACC_DTYPE)
     if xi.ndim != 3 or wi.ndim != 4:
@@ -196,12 +206,18 @@ def fused_conv_pool_int(
     if po < 1:
         raise ValueError("input too small for one pooled output")
 
-    out = np.zeros((m, po, po), dtype=ACC_DTYPE)
-    # stride-p integer convolution over the box-summed plane
-    for ki in range(k):
-        for kj in range(k):
-            window = acc[:, ki : ki + pool * po : pool, kj : kj + pool * po : pool]
-            out += np.einsum("mc,cij->mij", wi[:, :, ki, kj], window)
+    if impl == "vectorized":
+        from repro.core.kernels.intpath import conv_over_boxsum_int
+
+        # slice to the reference geometry (po x po, from the height)
+        out = np.ascontiguousarray(conv_over_boxsum_int(acc, wi, pool)[:, :po, :po])
+    else:
+        out = np.zeros((m, po, po), dtype=ACC_DTYPE)
+        # stride-p integer convolution over the box-summed plane
+        for ki in range(k):
+            for kj in range(k):
+                window = acc[:, ki : ki + pool * po : pool, kj : kj + pool * po : pool]
+                out += np.einsum("mc,cij->mij", wi[:, :, ki, kj], window)
 
     watch = stats is not None or bool(_ACTIVE)
     if watch:

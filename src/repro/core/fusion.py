@@ -28,27 +28,24 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.core.kernels import boxsum as _boxsum
+from repro.core.kernels import fused as _kernels
 from repro.nn import functional as F
 from repro.nn.layers import Module
-from repro.nn.tensor import Tensor, make_node, send_grad
+from repro.nn.tensor import Tensor, is_grad_enabled, make_node, send_grad
 from repro.obs.metrics import get_recorder
 
 
 def box_sum(x: np.ndarray, p: int) -> np.ndarray:
     """p x p box sum over the trailing two axes (the paper's ``I_Acc``).
 
-    Output spatial dims are ``H - p + 1`` x ``W - p + 1``.
+    Computed via the 2-D prefix-sum formulation
+    (:func:`repro.core.kernels.boxsum.box_sum_cumsum`) — O(H*W)
+    additions independent of ``p``, exact for integer dtypes.  Output
+    spatial dims are ``H - p + 1`` x ``W - p + 1``.
     """
-    if p < 1:
-        raise ValueError(f"box size must be >= 1, got {p}")
-    if p == 1:
-        return x
-    if x.shape[-1] < p or x.shape[-2] < p:
-        raise ValueError(f"input spatial dims {x.shape[-2:]} smaller than box {p}")
-    windows = sliding_window_view(x, (p, p), axis=(-2, -1))
-    return windows.sum(axis=(-2, -1))
+    return _boxsum.box_sum_cumsum(x, p)
 
 
 def fused_conv_pool(
@@ -59,6 +56,7 @@ def fused_conv_pool(
     pool_stride: Optional[int] = None,
     padding: int = 0,
     activation: str = "relu",
+    impl: str = "vectorized",
 ) -> Tensor:
     """Execute ``ReLU(AvgPool_p(Conv_K(x)))`` as one fused kernel.
 
@@ -66,6 +64,12 @@ def fused_conv_pool(
     input with stride ``p``, touching each weight once per *pooled*
     output.  Supports autograd (gradients flow through the box sum), so
     a fused network remains trainable.
+
+    ``impl="vectorized"`` (default) lowers the whole operator to one
+    :func:`repro.core.kernels.fused.fused_forward` call (gather + GEMM)
+    with a closed-form backward; ``impl="reference"`` keeps the
+    original composition (box sum node + ``F.conv2d`` + epilogue ops)
+    as the golden reference the equivalence suite compares against.
 
     Only ``pool_stride == pool`` (non-overlapping pooling) is fusable;
     the conv stride must be 1 (enforced by callers via
@@ -76,7 +80,37 @@ def fused_conv_pool(
         raise ValueError(
             f"fusion requires non-overlapping pooling, got window {pool} stride {pool_stride}"
         )
+    if impl not in ("vectorized", "reference"):
+        raise ValueError(f"impl must be 'vectorized' or 'reference', got {impl!r}")
     x = x if isinstance(x, Tensor) else Tensor(x)
+    weight = weight if isinstance(weight, Tensor) else Tensor(weight)
+
+    if impl == "vectorized":
+        if activation not in ("relu", "sigmoid", "tanh", "none"):
+            raise ValueError(f"unknown activation {activation!r}")
+        bias_t = bias if (bias is None or isinstance(bias, Tensor)) else Tensor(bias)
+        out_data, res = _kernels.fused_forward(
+            x.data,
+            weight.data,
+            None if bias_t is None else bias_t.data,
+            pool=pool,
+            padding=padding,
+            activation=activation,
+        )
+        parents = (x, weight) + (() if bias_t is None else (bias_t,))
+        node = make_node(out_data, parents)
+        if node.requires_grad:
+
+            def _bw(g: np.ndarray) -> None:
+                gx, gw, gb = _kernels.fused_backward(g, res)
+                send_grad(x, gx)
+                send_grad(weight, gw)
+                if bias_t is not None:
+                    send_grad(bias_t, gb)
+
+            node._backward = _bw
+        return node
+
     n, c, h, w = x.shape
 
     if padding:
@@ -138,10 +172,19 @@ class FusedConvPool(Module):
 
     Shares the parameters of the original block (no copy), so a fused
     network stays in sync with the original weights.
+
+    ``impl`` selects the functional execution path ("vectorized" or the
+    golden "reference" composition).  After compilation the lowering
+    pass may additionally :meth:`attach_kernel` a plan-selected lowered
+    kernel from :mod:`repro.core.kernels`; it serves gradient-free
+    (inference) forwards, while training forwards keep the autograd
+    ``impl`` path on the shared parameters.
     """
 
-    def __init__(self, conv_block) -> None:
+    def __init__(self, conv_block, impl: str = "vectorized") -> None:
         super().__init__()
+        if impl not in ("vectorized", "reference"):
+            raise ValueError(f"impl must be 'vectorized' or 'reference', got {impl!r}")
         if not conv_block.is_fusable():
             raise ValueError(
                 "block is not fusable (needs pool_act order, average pooling, "
@@ -159,6 +202,8 @@ class FusedConvPool(Module):
         self.padding = ph
         self.pool = conv_block.pool.kernel
         self.activation = conv_block.activation
+        self.impl = impl
+        self._kernel = None  # lowered kernel bound by the compiler
         # Share (not copy) parameters for counting and training.
         self.register_parameter("weight", conv_block.conv.weight)
         if conv_block.conv.bias is not None:
@@ -166,7 +211,25 @@ class FusedConvPool(Module):
         else:
             self.bias = None
 
+    def attach_kernel(self, kernel) -> None:
+        """Bind (or with ``None``, unbind) a lowered inference kernel."""
+        self._kernel = kernel
+
+    @property
+    def kernel(self):
+        """The bound lowered kernel, or ``None`` before lowering."""
+        return self._kernel
+
     def forward(self, x: Tensor) -> Tensor:
+        if self._kernel is not None and not is_grad_enabled():
+            out = self._kernel.run_nchw(
+                x.data,
+                self.weight.data,
+                None if self.bias is None else self.bias.data,
+                padding=self.padding,
+                activation=self.activation,
+            )
+            return Tensor(out)
         return fused_conv_pool(
             x,
             self.weight,
@@ -174,6 +237,7 @@ class FusedConvPool(Module):
             pool=self.pool,
             padding=self.padding,
             activation=self.activation,
+            impl=self.impl,
         )
 
     def extra_repr(self) -> str:

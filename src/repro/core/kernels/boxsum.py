@@ -1,0 +1,60 @@
+"""Box-sum (``I_Acc``) kernels: prefix-sum and windowed formulations.
+
+The fused conv-pool kernel reduces the p x p average pool to a *box
+sum* of the input plane (the paper's ``I_Acc``).  Two implementations:
+
+* :func:`box_sum_cumsum` — the production kernel: a 2-D inclusive
+  prefix sum followed by four shifted reads (the classic summed-area
+  table).  O(H*W) additions independent of ``p``, no per-window
+  materialization, and *exact* for integer dtypes (integer addition is
+  associative, so the subtraction scheme introduces no error — the
+  fixed-point path relies on this).
+* :func:`box_sum_windows` — the golden reference: materializes every
+  overlapping p x p window via ``sliding_window_view`` and sums it.
+  O(H*W*p^2) work; kept only for property-testing the prefix-sum
+  version (non-square inputs, p not dividing the spatial size, ...).
+
+Both operate over the trailing two axes and broadcast over any leading
+(batch/channel) axes; output spatial dims are ``H-p+1`` x ``W-p+1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = ["box_sum_cumsum", "box_sum_windows"]
+
+
+def _check(x: np.ndarray, p: int) -> None:
+    if p < 1:
+        raise ValueError(f"box size must be >= 1, got {p}")
+    if p > 1 and (x.shape[-1] < p or x.shape[-2] < p):
+        raise ValueError(f"input spatial dims {x.shape[-2:]} smaller than box {p}")
+
+
+def box_sum_cumsum(x: np.ndarray, p: int) -> np.ndarray:
+    """p x p box sum via a 2-D prefix sum (summed-area table).
+
+    ``out[..., i, j] = S[i+p-1, j+p-1] - S[i-1, j+p-1] - S[i+p-1, j-1]
+    + S[i-1, j-1]`` where ``S`` is the inclusive 2-D cumulative sum
+    (terms with a ``-1`` index read as zero).  Exact for integer inputs.
+    """
+    _check(x, p)
+    if p == 1:
+        return x
+    s = x.cumsum(axis=-1).cumsum(axis=-2)
+    out = s[..., p - 1 :, p - 1 :].copy()
+    out[..., 1:, :] -= s[..., : -p, p - 1 :]
+    out[..., :, 1:] -= s[..., p - 1 :, : -p]
+    out[..., 1:, 1:] += s[..., :-p, :-p]
+    return out
+
+
+def box_sum_windows(x: np.ndarray, p: int) -> np.ndarray:
+    """Reference p x p box sum summing materialized overlapping windows."""
+    _check(x, p)
+    if p == 1:
+        return x
+    windows = sliding_window_view(x, (p, p), axis=(-2, -1))
+    return windows.sum(axis=(-2, -1))

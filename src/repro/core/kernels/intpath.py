@@ -1,0 +1,39 @@
+"""Vectorized integer accumulation for the fixed-point fused kernel.
+
+:func:`conv_over_boxsum_int` replaces the per-(ki, kj) einsum loop of
+``repro.core.fixedpoint.fused_conv_pool_int`` with a single gather +
+integer matrix product.  Because int64 addition is associative and
+commutative, the reordered accumulation is **bit-identical** to the
+reference loop — the fixed-point accumulator/requant semantics
+(including the overflow and clip counters, which are computed from the
+accumulator *values*) are preserved exactly, not approximately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = ["conv_over_boxsum_int"]
+
+
+def conv_over_boxsum_int(acc: np.ndarray, wi: np.ndarray, pool: int) -> np.ndarray:
+    """Stride-``pool`` integer convolution over the box-summed plane.
+
+    ``acc``: (C, Ha, Wa) int64 ``I_Acc``; ``wi``: (M, C, K, K) int64
+    weights.  Returns the (M, Po, Qo) int64 accumulator plane, equal
+    element-for-element to the reference per-tap accumulation loop.
+    """
+    c, ha, wa = acc.shape
+    m, cw, k, _ = wi.shape
+    if c != cw:
+        raise ValueError(f"channel mismatch: {c} vs {cw}")
+    po = (ha - k) // pool + 1
+    qo = (wa - k) // pool + 1
+    if po < 1 or qo < 1:
+        raise ValueError("input too small for one pooled output")
+    win = sliding_window_view(acc, (k, k), axis=(-2, -1))[:, ::pool, ::pool]
+    win = win[:, :po, :qo]  # (C, Po, Qo, K, K)
+    cols = np.ascontiguousarray(win.transpose(1, 2, 0, 3, 4)).reshape(po * qo, c * k * k)
+    out = wi.reshape(m, c * k * k) @ cols.T  # exact int64 GEMM
+    return out.reshape(m, po, qo)

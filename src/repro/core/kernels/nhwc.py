@@ -1,0 +1,191 @@
+"""The specialized fp32 NHWC fused kernel (the mlcnn-fp32 fast path).
+
+This is the shape-class-specialized kernel the lowering stage selects
+for ``bits=32`` — the software analogue of the accelerator's
+``mlcnn-fp32`` configuration.  It trades the generic kernel's float64
+exactness for single-precision GEMM throughput and a channels-last
+layout in which every memory stage is contiguous:
+
+* **layout** — NHWC internally: the pooled-patch gather copies
+  contiguous ``(kj, c)`` runs in both source and destination instead
+  of strided per-channel elements.
+* **padding folded into the box sum** — for the common ``pool=2``
+  class the horizontal pairwise sum writes pad columns directly from
+  the input edges; no padded copy of the input is ever materialized
+  (general ``pool`` falls back to a zero-padded workspace).
+* **bias folded into the GEMM** — the patch matrix carries a constant
+  ones column and the weight matrix a bias row, so bias addition costs
+  nothing extra; the ``1/p^2`` scaling is folded into the weights.
+* **plan-time workspaces** — all intermediates are allocated once per
+  input shape and reused; steady-state calls allocate only the output
+  of the final GEMM.
+
+Weights are re-folded on every call (a few-microsecond copy of the
+(M, C, K, K) tensor), so a kernel bound to a module that later trains
+never serves stale weights.
+
+Accuracy: outputs deviate from the float64 reference by single-
+precision round-off (measured max ~3e-5 on the benchmark workload;
+documented bound ~1e-3 for unit-variance inputs).  The lowering pass
+therefore declares ``preserves_semantics=False`` for this class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.core.kernels.fused import record_rme_counters
+
+__all__ = ["F32NHWCKernel"]
+
+
+class _Plan:
+    """Workspaces for one (input shape, padding) specialization."""
+
+    def __init__(self, n: int, h: int, w: int, c: int, m: int, k: int, pool: int, pad: int):
+        self.n, self.h, self.w, self.c, self.m, self.k = n, h, w, c, m, k
+        self.pool, self.pad = pool, pad
+        hp, wp = h + 2 * pad, w + 2 * pad
+        self.ha, self.wa = hp - pool + 1, wp - pool + 1
+        self.po = (self.ha - k) // pool + 1
+        self.qo = (self.wa - k) // pool + 1
+        if self.po < 1 or self.qo < 1:
+            raise ValueError("input too small for one pooled output")
+        self.ck = c * k * k
+        f32 = np.float32
+        if pool == 2:
+            # pad folded into the horizontal sum: pad rows stay zero
+            self.xpad = None
+            self.tmp = np.zeros((n, hp, self.wa, c), dtype=f32)
+        else:
+            self.xpad = np.zeros((n, hp, wp, c), dtype=f32)
+            self.tmp = np.empty((n, hp, self.wa, c), dtype=f32)
+        self.acc = np.empty((n, self.ha, self.wa, c), dtype=f32)
+        # patch matrix with a trailing ones column (bias folded into GEMM)
+        self.cols = np.empty((n, self.po, self.qo, self.ck + 1), dtype=f32)
+        self.cols[..., self.ck] = 1.0
+        self.wmat = np.empty((self.ck + 1, m), dtype=f32)
+
+
+class F32NHWCKernel:
+    """Plan-specialized fused conv-pool: fp32 arithmetic, NHWC layout."""
+
+    name = "fused-f32-nhwc"
+    layout = "nhwc"
+
+    def __init__(self, shape_class) -> None:
+        self.shape_class = shape_class
+        self._plans: Dict[Tuple, _Plan] = {}
+
+    # -- planning -----------------------------------------------------------
+
+    def _plan_for(self, x_shape: Tuple[int, ...], m: int, k: int, pad: int) -> _Plan:
+        key = (x_shape, m, k, pad)
+        plan = self._plans.get(key)
+        if plan is None:
+            n, h, w, c = x_shape
+            plan = _Plan(n, h, w, c, m, k, self.shape_class.pool, pad)
+            self._plans[key] = plan
+        return plan
+
+    def _fold_weights(self, plan: _Plan, weight: np.ndarray, bias: Optional[np.ndarray]):
+        # (M, C, K, K) -> (Ki, Kj, C, M) rows matching the gather order,
+        # with the 1/p^2 pool scaling folded in and the bias as the row
+        # multiplying the patch matrix's ones column.
+        w32 = np.asarray(weight, dtype=np.float32)
+        inv = np.float32(1.0 / (plan.pool * plan.pool))
+        plan.wmat[: plan.ck] = w32.transpose(2, 3, 1, 0).reshape(plan.ck, plan.m) * inv
+        plan.wmat[plan.ck] = 0.0 if bias is None else np.asarray(bias, dtype=np.float32)
+
+    # -- the box sum (I_Acc), written into plan.acc -------------------------
+
+    def _box_sum(self, plan: _Plan, x: np.ndarray) -> None:
+        p, pad, h, w = plan.pool, plan.pad, plan.h, plan.w
+        if p == 2 and h >= 2 and w >= 2:
+            # horizontal pairwise sum with the zero padding folded in
+            core = plan.tmp[:, pad : pad + h]
+            np.add(x[:, :, :-1, :], x[:, :, 1:, :], out=core[:, :, pad : pad + w - 1, :])
+            if pad >= 1:
+                core[:, :, pad - 1, :] = x[:, :, 0, :]
+                core[:, :, pad + w - 1, :] = x[:, :, w - 1, :]
+            # vertical pairwise sum (pad rows are zero by construction)
+            np.add(plan.tmp[:, :-1], plan.tmp[:, 1:], out=plan.acc)
+            return
+        xp = plan.xpad
+        xp[:, pad : pad + h, pad : pad + w, :] = x
+        plan.tmp[:] = xp[:, :, : plan.wa, :]
+        for d in range(1, p):
+            plan.tmp += xp[:, :, d : d + plan.wa, :]
+        plan.acc[:] = plan.tmp[:, : plan.ha]
+        for d in range(1, p):
+            plan.acc += plan.tmp[:, d : d + plan.ha]
+
+    # -- execution ----------------------------------------------------------
+
+    def __call__(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        *,
+        padding: int = 0,
+        activation: str = "relu",
+        record: bool = True,
+    ) -> np.ndarray:
+        """Run on an NHWC float32 batch ``(N, H, W, C)``; returns NHWC."""
+        if x.ndim != 4:
+            raise ValueError(f"expected NHWC (N,H,W,C), got shape {x.shape}")
+        if x.dtype != np.float32:
+            x = np.asarray(x, dtype=np.float32)
+        m, cw, k, _ = weight.shape
+        if x.shape[-1] != cw:
+            raise ValueError(f"channel mismatch: input {x.shape[-1]}, weight {cw}")
+        plan = self._plan_for(x.shape, m, k, padding)
+        self._fold_weights(plan, weight, bias)
+        self._box_sum(plan, x)
+        p, po, qo, ck = plan.pool, plan.po, plan.qo, plan.ck
+        # gather: contiguous (kj, c) runs in both source and destination
+        win = sliding_window_view(plan.acc, (k, k), axis=(1, 2))[:, ::p, ::p]
+        win = win[:, :po, :qo]
+        np.copyto(
+            plan.cols[..., :ck].reshape(plan.n, po, qo, k, k, plan.c),
+            win.transpose(0, 1, 2, 4, 5, 3),
+        )
+        out = np.matmul(plan.cols.reshape(plan.n * po * qo, ck + 1), plan.wmat)
+        if activation == "relu":
+            np.maximum(out, 0.0, out=out)
+        elif activation == "sigmoid":
+            np.negative(out, out=out)
+            np.exp(out, out=out)
+            out += 1.0
+            np.reciprocal(out, out=out)
+        elif activation == "tanh":
+            np.tanh(out, out=out)
+        elif activation != "none":
+            raise ValueError(f"unknown activation {activation!r}")
+        if record:
+            record_rme_counters(
+                plan.n, m, plan.c, k, po, qo, plan.h + 2 * padding, plan.w + 2 * padding
+            )
+        return out.reshape(plan.n, po, qo, m)
+
+    def run_nchw(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        *,
+        padding: int = 0,
+        activation: str = "relu",
+        record: bool = True,
+    ) -> np.ndarray:
+        """NCHW convenience wrapper (layout conversion both ways)."""
+        xh = np.ascontiguousarray(np.moveaxis(x, 1, -1), dtype=np.float32)
+        out = self(xh, weight, bias, padding=padding, activation=activation, record=record)
+        return np.ascontiguousarray(np.moveaxis(out, -1, 1))
+
+    def __repr__(self) -> str:
+        return f"<F32NHWCKernel {self.shape_class}, {len(self._plans)} plan(s)>"

@@ -1,0 +1,177 @@
+"""Shape-class kernel registry: which lowered kernel runs which layer.
+
+The lowering pass (:mod:`repro.compiler.lower`) describes each fused
+layer as a :class:`ShapeClass` — ``(kernel, pool, stride, bits, kind)``
+— and asks the registry to :meth:`~KernelRegistry.select` an
+implementation.  Selection is deterministic: registered
+:class:`KernelSpec` entries are ordered by descending priority then
+name, and the first whose predicate matches wins.  Built-ins:
+
+==================  ========  =======================================
+spec                priority  matches
+==================  ========  =======================================
+``fused-f32-nhwc``  10        float, ``bits == 32``, non-overlapping
+``fused-int64-acc`` 10        ``kind == "int"`` (fixed-point path)
+``fused-generic-f64``  0      any float class (the exact fallback)
+==================  ========  =======================================
+
+``registry.selections`` counts how many times a full selection ran —
+the plan cache replays stored selections by name instead, so repeated
+sweep compilations pay kernel selection once (asserted in
+``tests/compiler/test_lower.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+__all__ = ["ShapeClass", "KernelSpec", "KernelRegistry", "KERNEL_REGISTRY"]
+
+_VALID_KINDS = ("float", "int")
+_VALID_BITS = (8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class ShapeClass:
+    """The lowering key of one fused layer: ``(k, p, stride, bits)``."""
+
+    kernel: int  #: conv kernel size K
+    pool: int  #: pool window p
+    stride: int  #: pool stride (fusable layers have stride == pool)
+    bits: int = 64  #: arithmetic width of the requested datapath
+    kind: str = "float"  #: "float" or "int" (fixed-point) arithmetic
+
+    def __post_init__(self) -> None:
+        if self.kernel < 1 or self.pool < 1 or self.stride < 1:
+            raise ValueError(f"kernel/pool/stride must be >= 1, got {self}")
+        if self.bits not in _VALID_BITS:
+            raise ValueError(f"bits must be one of {_VALID_BITS}, got {self.bits}")
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"kind must be one of {_VALID_KINDS}, got {self.kind!r}")
+
+    def describe(self) -> str:
+        return f"k{self.kernel}p{self.pool}s{self.stride}-{self.kind}{self.bits}"
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A registered kernel implementation and when it applies."""
+
+    name: str
+    priority: int
+    factory: Callable[[ShapeClass], Any]
+    predicate: Callable[[ShapeClass], bool]
+    description: str = ""
+
+    def matches(self, sc: ShapeClass) -> bool:
+        return bool(self.predicate(sc))
+
+    def make(self, sc: ShapeClass) -> Any:
+        return self.factory(sc)
+
+
+class KernelRegistry:
+    """Deterministic priority-ordered kernel selection."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, KernelSpec] = {}
+        self.selections = 0  #: full select() runs (plan-cache misses)
+
+    def register(self, spec: KernelSpec) -> KernelSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"duplicate kernel spec {spec.name!r}")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> KernelSpec:
+        if name not in self._specs:
+            raise KeyError(f"unknown kernel {name!r}; available: {self.names()}")
+        return self._specs[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._specs)
+
+    def candidates(self, sc: ShapeClass) -> List[KernelSpec]:
+        ordered = sorted(self._specs.values(), key=lambda s: (-s.priority, s.name))
+        return [s for s in ordered if s.matches(sc)]
+
+    def select(self, sc: ShapeClass) -> KernelSpec:
+        """Pick the highest-priority matching spec (deterministic)."""
+        self.selections += 1
+        matching = self.candidates(sc)
+        if not matching:
+            raise LookupError(f"no registered kernel matches shape class {sc}")
+        return matching[0]
+
+    def make(self, sc: ShapeClass) -> Any:
+        """Select and instantiate a kernel for ``sc``."""
+        return self.select(sc).make(sc)
+
+
+def _make_generic_f64(sc: ShapeClass):
+    from repro.core.kernels.fused import GenericF64Kernel
+
+    return GenericF64Kernel(sc)
+
+
+def _make_f32_nhwc(sc: ShapeClass):
+    from repro.core.kernels.nhwc import F32NHWCKernel
+
+    return F32NHWCKernel(sc)
+
+
+class IntAccKernel:
+    """Thin handle for the fixed-point path (quantized operands).
+
+    Delegates to :func:`repro.core.fixedpoint.fused_conv_pool_int` with
+    ``impl="vectorized"`` — bit-identical to the reference loop,
+    including the accumulator-overflow and requant-clip counters.
+    """
+
+    name = "fused-int64-acc"
+    layout = "nchw"
+
+    def __init__(self, shape_class: ShapeClass) -> None:
+        self.shape_class = shape_class
+
+    def __call__(self, x, w, bias=None, **kwargs):
+        from repro.core.fixedpoint import fused_conv_pool_int
+
+        kwargs.setdefault("pool", self.shape_class.pool)
+        return fused_conv_pool_int(x, w, bias, impl="vectorized", **kwargs)
+
+    def __repr__(self) -> str:
+        return f"<IntAccKernel {self.shape_class}>"
+
+
+#: the process-wide registry the lowering pass consults
+KERNEL_REGISTRY = KernelRegistry()
+
+KERNEL_REGISTRY.register(
+    KernelSpec(
+        name="fused-generic-f64",
+        priority=0,
+        factory=_make_generic_f64,
+        predicate=lambda sc: sc.kind == "float" and sc.stride == sc.pool,
+        description="float64 NCHW fallback; exact vs the reference composition",
+    )
+)
+KERNEL_REGISTRY.register(
+    KernelSpec(
+        name="fused-f32-nhwc",
+        priority=10,
+        factory=_make_f32_nhwc,
+        predicate=lambda sc: sc.kind == "float" and sc.bits == 32 and sc.stride == sc.pool,
+        description="fp32 NHWC specialization (mlcnn-fp32 fast path)",
+    )
+)
+KERNEL_REGISTRY.register(
+    KernelSpec(
+        name="fused-int64-acc",
+        priority=10,
+        factory=IntAccKernel,
+        predicate=lambda sc: sc.kind == "int",
+        description="int64-accumulator fixed-point path with saturation counters",
+    )
+)

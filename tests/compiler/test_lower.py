@@ -1,0 +1,180 @@
+"""The lowering pass: kernel selection, plan-cache replay, invalidation.
+
+Satellite 2 of the lowering backend: the plan cache must replay a
+stored kernel selection for repeated compilations of the same key, and
+must *never* serve a stale selection when the shape class, bits, or
+impl changes — every such change alters the cache key.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    PLAN_CACHE,
+    CompileContext,
+    LowerFusedKernelPass,
+    Pipeline,
+    clear_plan_cache,
+    lowered_kernels,
+    mlcnn_pipeline,
+)
+from repro.core.fusion import FusedConvPool
+from repro.core.kernels import KERNEL_REGISTRY
+from repro.models import build_model
+from repro.nn.tensor import Tensor, no_grad
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+@pytest.fixture
+def x32():
+    return Tensor(np.random.default_rng(3).normal(size=(2, 3, 32, 32)))
+
+
+def _fused_modules(model):
+    return [m for _, m in model.named_modules() if isinstance(m, FusedConvPool)]
+
+
+class TestLoweringAttachment:
+    def test_default_pipeline_attaches_f64_kernels(self):
+        model, report = mlcnn_pipeline().run(build_model("lenet5"))
+        bound = lowered_kernels(model)
+        assert len(bound) == 2
+        assert all(k.name == "fused-generic-f64" for _, k in bound)
+        rec = report.record_for("lower")
+        assert rec.ran and rec.rewrites == 2 and rec.validated
+
+    def test_bits32_selects_nhwc_specialization(self):
+        model, _ = mlcnn_pipeline(lower_bits=32).run(build_model("lenet5"))
+        assert all(k.name == "fused-f32-nhwc" for _, k in lowered_kernels(model))
+
+    def test_reference_impl_detaches_kernels(self, x32):
+        model, _ = mlcnn_pipeline(lower_impl="reference").run(build_model("lenet5", seed=5))
+        assert lowered_kernels(model) == []
+        assert all(m.impl == "reference" for m in _fused_modules(model))
+        twin, _ = mlcnn_pipeline().run(
+            build_model("lenet5", seed=5), CompileContext(use_cache=False)
+        )
+        with no_grad():
+            np.testing.assert_allclose(model(x32).data, twin(x32).data, atol=1e-9)
+
+    def test_lower_false_omits_the_stage(self):
+        model, report = mlcnn_pipeline(lower=False).run(build_model("lenet5"))
+        assert lowered_kernels(model) == []
+        with pytest.raises(KeyError):
+            report.record_for("lower")
+
+    def test_lowered_forward_matches_autograd_path(self, x32):
+        model, _ = mlcnn_pipeline().run(build_model("lenet5", seed=7))
+        with no_grad():
+            lowered_out = model(x32).data
+        for m in _fused_modules(model):
+            m.attach_kernel(None)
+        with no_grad():
+            np.testing.assert_allclose(model(x32).data, lowered_out, atol=1e-12)
+
+    def test_training_forward_ignores_bound_kernel(self, x32):
+        model, _ = mlcnn_pipeline().run(build_model("lenet5", seed=7))
+        out = model(x32)  # grad enabled: must use the autograd path
+        out.sum().backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert grads, "lowered model must stay trainable"
+
+    def test_kernel_plan_recorded_in_state_and_details(self):
+        ctx = CompileContext()
+        _, report = mlcnn_pipeline().run(build_model("lenet5"), ctx)
+        plan = ctx.state["kernel_plan"]
+        assert plan["impl"] == "vectorized" and plan["bits"] == 64
+        assert not plan["from_cache"]
+        assert set(plan["kernels"].values()) == {"fused-generic-f64"}
+        assert report.record_for("lower").ran
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            LowerFusedKernelPass(impl="fast")
+        with pytest.raises(ValueError):
+            LowerFusedKernelPass(bits=16)
+
+    def test_not_applicable_without_fused_modules(self):
+        model = build_model("lenet5")  # nothing fused yet
+        assert not LowerFusedKernelPass().applies_to(model)
+        _, report = Pipeline([LowerFusedKernelPass()]).run(model)
+        assert not report.record_for("lower").ran
+
+
+class TestPlanCacheReplay:
+    def test_second_compile_replays_without_selection(self):
+        mlcnn_pipeline().run(build_model("lenet5", seed=1))
+        before = KERNEL_REGISTRY.selections
+        ctx = CompileContext()
+        model, report = mlcnn_pipeline().run(build_model("lenet5", seed=2), ctx)
+        assert report.cached
+        assert KERNEL_REGISTRY.selections == before  # replayed by name
+        assert ctx.state["kernel_plan"]["from_cache"]
+        assert all(k.name == "fused-generic-f64" for _, k in lowered_kernels(model))
+
+    def test_replayed_model_still_correct(self, x32):
+        mlcnn_pipeline().run(build_model("lenet5", seed=1))
+        model, report = mlcnn_pipeline().run(build_model("lenet5", seed=2))
+        assert report.cached
+        with no_grad():
+            cached_out = model(x32).data
+        for m in _fused_modules(model):
+            m.attach_kernel(None)
+        with no_grad():
+            np.testing.assert_allclose(model(x32).data, cached_out, atol=1e-12)
+
+
+class TestPlanCacheInvalidation:
+    """Changing shape class, bits, or impl must change the key — the
+    cache can never hand back a stale kernel selection."""
+
+    def test_bits_change_is_a_different_key(self):
+        mlcnn_pipeline().run(build_model("lenet5"))
+        ctx = CompileContext()
+        model, report = mlcnn_pipeline(lower_bits=32).run(build_model("lenet5"), ctx)
+        assert not report.cached  # lower(bits=...) is in the pipeline spec
+        assert not ctx.state["kernel_plan"]["from_cache"]
+        assert all(k.name == "fused-f32-nhwc" for _, k in lowered_kernels(model))
+
+    def test_impl_change_is_a_different_key(self):
+        mlcnn_pipeline().run(build_model("lenet5"))
+        ctx = CompileContext()
+        model, report = mlcnn_pipeline(lower_impl="reference").run(
+            build_model("lenet5"), ctx
+        )
+        assert not report.cached
+        assert lowered_kernels(model) == []
+        assert ctx.state["kernel_plan"]["kernels"]  # fresh plan, all "reference"
+        assert set(ctx.state["kernel_plan"]["kernels"].values()) == {"reference"}
+
+    def test_shape_class_change_is_a_different_key(self):
+        """Different architecture (different k/pool per layer) — the
+        architecture signature differs, so the stored plan is unused."""
+        mlcnn_pipeline().run(build_model("lenet5"))
+        ctx = CompileContext()
+        _, report = mlcnn_pipeline().run(build_model("vgg16", width_mult=0.125), ctx)
+        assert not report.cached
+        assert not ctx.state["kernel_plan"]["from_cache"]
+
+    def test_spec_strings_differ(self):
+        specs = {
+            mlcnn_pipeline().spec(),
+            mlcnn_pipeline(lower_bits=32).spec(),
+            mlcnn_pipeline(lower_impl="reference").spec(),
+            mlcnn_pipeline(lower=False).spec(),
+        }
+        assert len(specs) == 4
+
+    def test_cleared_cache_forgets_kernel_plans(self):
+        ctx = CompileContext()
+        mlcnn_pipeline().run(build_model("lenet5"), ctx)
+        key = ctx.state["plan_cache_key"]
+        assert PLAN_CACHE.kernel_plan(key) is not None
+        clear_plan_cache()
+        assert PLAN_CACHE.kernel_plan(key) is None

@@ -264,3 +264,45 @@ class TestIntFusedKernel:
         got = fused_conv_pool_int(qx, qw, None, pool=2)
         ref = self._float_ref(x, w, None, pool=2)
         assert np.abs(got - ref).max() <= int_path_error_bound(qx, qw, pool=2)
+
+
+class TestImplBitExactness:
+    """The vectorized int lowering must be indistinguishable from the
+    per-tap reference loop — outputs and saturation stats bitwise."""
+
+    def _both(self, qx, qw, b=None, **kw):
+        outs, stats = [], []
+        for impl in ("vectorized", "reference"):
+            s = IntPathStats()
+            outs.append(fused_conv_pool_int(qx, qw, b, stats=s, impl=impl, **kw))
+            stats.append(s)
+        return outs, stats
+
+    def test_outputs_and_stats_identical(self, rng):
+        qx = quantize_tensor(rng.normal(size=(3, 14, 14)), 8)
+        qw = quantize_tensor(rng.normal(size=(5, 3, 3, 3)), 8)
+        (a, b), (sa, sb) = self._both(qx, qw, rng.normal(size=5), acc_bits=16, out_bits=8)
+        assert np.array_equal(a, b)
+        assert (sa.acc_max_abs, sa.acc_overflows, sa.acc_total) == (
+            sb.acc_max_abs, sb.acc_overflows, sb.acc_total
+        )
+        assert (sa.requant_clipped, sa.requant_total) == (
+            sb.requant_clipped, sb.requant_total
+        )
+
+    def test_identical_under_saturation_pressure(self, rng):
+        """Tight accumulator: overflow/clip counters must still agree."""
+        qx = quantize_tensor(rng.normal(size=(4, 12, 12)) * 30, 8)
+        qw = quantize_tensor(rng.normal(size=(4, 4, 3, 3)) * 30, 8)
+        (a, b), (sa, sb) = self._both(qx, qw, acc_bits=10, out_bits=4, pool=3)
+        assert sa.acc_overflows > 0  # the pressure actually bit
+        assert np.array_equal(a, b)
+        assert sa.acc_overflows == sb.acc_overflows
+        assert sa.requant_clipped == sb.requant_clipped
+
+    def test_default_impl_is_vectorized(self, rng):
+        qx = quantize_tensor(rng.normal(size=(2, 10, 10)), 8)
+        qw = quantize_tensor(rng.normal(size=(2, 2, 3, 3)), 8)
+        default = fused_conv_pool_int(qx, qw)
+        explicit = fused_conv_pool_int(qx, qw, impl="vectorized")
+        assert np.array_equal(default, explicit)
