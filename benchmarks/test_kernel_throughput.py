@@ -12,6 +12,15 @@ implementations on the dashboard trend: ``fused_module_samples_per_sec``
 (the default f64 vectorized autograd path, NCHW Tensors) and
 ``fused_reference_samples_per_sec`` (the golden ``impl="reference"``
 composition the vectorized kernels are validated against).
+
+The parallel axis measures the worker-pool engine
+(:mod:`repro.core.parallel`) at ``workers = {1, 2, nproc}``:
+``kernel.parallel_samples_per_sec[workers=N]`` is the sharded
+throughput, and ``kernel.parallel_scaling_efficiency[workers=N]`` is
+that rate divided by ``N x`` the serial lowered-kernel rate — 1.0 is
+perfect linear scaling.  Both gate advisorily (the ``kernel.`` policy):
+the curve depends entirely on the host's core count, and on a 1-core
+CI runner the efficiency at ``workers=2`` legitimately sits near 0.5.
 """
 
 from time import perf_counter
@@ -21,6 +30,7 @@ import pytest
 
 from repro.core.fusion import fused_conv_pool
 from repro.core.kernels import KERNEL_REGISTRY, ShapeClass
+from repro.core.parallel import available_workers, parallel_fused_conv_pool
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor, no_grad
 
@@ -28,6 +38,10 @@ from repro.nn.tensor import Tensor, no_grad
 BATCH = 8
 #: images per run() call in the lowered-kernel bench (amortizes the GEMM setup)
 KERNEL_BATCH = 16
+#: worker counts for the parallel scaling curve (deduplicated: on a
+#: 2-core host this is {1, 2}, on a 1-core host {1, 2} as well so the
+#: curve always has a multi-worker point to trend)
+WORKER_COUNTS = sorted({1, 2, available_workers()})
 
 
 @pytest.fixture(scope="module")
@@ -123,6 +137,44 @@ def test_bench_fused_reference_impl(benchmark, workload, record_metric):
 
     benchmark(run)
     record_metric("kernel", "fused_reference_samples_per_sec", _samples_per_sec(run, repeats=5))
+
+
+@pytest.fixture(scope="module")
+def parallel_workload():
+    """NCHW f64 workload + the serial lowered-kernel baseline rate."""
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=(KERNEL_BATCH, 32, 32, 32))
+    w = rng.normal(size=(64, 32, 3, 3))
+    b = rng.normal(size=64)
+    serial_rate = _samples_per_sec(
+        lambda: parallel_fused_conv_pool(x, w, b, pool=2, padding=1, workers=1),
+        batch=KERNEL_BATCH,
+        repeats=5,
+    )
+    with no_grad():
+        ref = fused_conv_pool(Tensor(x), Tensor(w), Tensor(b), pool=2, padding=1).data
+    return x, w, b, serial_rate, ref
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_bench_parallel_fused_kernel(benchmark, parallel_workload, record_metric, workers):
+    """The worker-pool engine's scaling curve over the fused kernel."""
+    x, w, b, serial_rate, ref = parallel_workload
+
+    def run():
+        return parallel_fused_conv_pool(x, w, b, pool=2, padding=1, workers=workers)
+
+    out = benchmark(run)
+    np.testing.assert_allclose(out, ref, atol=1e-9)  # sharded == serial
+    rate = _samples_per_sec(run, batch=KERNEL_BATCH, repeats=5)
+    record_metric("kernel", "parallel_samples_per_sec", rate, workers=workers)
+    if workers > 1:
+        record_metric(
+            "kernel",
+            "parallel_scaling_efficiency",
+            rate / (workers * serial_rate),
+            workers=workers,
+        )
 
 
 def test_bench_rtl_microsim(benchmark, record_metric):

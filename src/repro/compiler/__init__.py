@@ -41,6 +41,7 @@ from repro.compiler.passes import (
     ReorderDivergenceProbePass,
 )
 from repro.compiler.lower import LowerFusedKernelPass, lowered_kernels
+from repro.compiler.parallelize import ParallelizePass
 from repro.compiler.pipeline import (
     Pipeline,
     PassManager,
@@ -74,6 +75,7 @@ __all__ = [
     "PrunePass",
     "ReorderDivergenceProbePass",
     "LowerFusedKernelPass",
+    "ParallelizePass",
     "lowered_kernels",
     "Pipeline",
     "PassManager",

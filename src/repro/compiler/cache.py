@@ -51,7 +51,10 @@ class PlanCache:
 
     def __init__(self) -> None:
         self._plans: Dict[CacheKey, int] = {}
-        self._kernel_plans: Dict[CacheKey, KernelPlan] = {}
+        #: key -> (registry signature at selection time, path -> kernel name)
+        self._kernel_plans: Dict[CacheKey, Tuple[Optional[str], KernelPlan]] = {}
+        #: key -> sharding decision recorded by the parallelize pass
+        self._parallel_plans: Dict[CacheKey, Dict[str, Dict[str, object]]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -66,14 +69,46 @@ class PlanCache:
     def add(self, key: CacheKey) -> None:
         self._plans.setdefault(key, 0)
 
-    def store_kernel_plan(self, key: CacheKey, plan: KernelPlan) -> None:
-        """Record the lowering selection computed for ``key``."""
-        self._kernel_plans[key] = dict(plan)
+    def store_kernel_plan(
+        self, key: CacheKey, plan: KernelPlan, registry_sig: Optional[str] = None
+    ) -> None:
+        """Record the lowering selection computed for ``key``.
 
-    def kernel_plan(self, key: CacheKey) -> Optional[KernelPlan]:
-        """The stored lowering selection for ``key`` (None if absent)."""
-        plan = self._kernel_plans.get(key)
-        return dict(plan) if plan is not None else None
+        ``registry_sig`` is the :meth:`KernelRegistry.signature
+        <repro.core.kernels.registry.KernelRegistry.signature>` digest
+        at selection time; a later :meth:`kernel_plan` lookup under a
+        *different* registry population returns None, forcing a fresh
+        selection (registering or removing kernels invalidates plans).
+        """
+        self._kernel_plans[key] = (registry_sig, dict(plan))
+
+    def kernel_plan(
+        self, key: CacheKey, registry_sig: Optional[str] = None
+    ) -> Optional[KernelPlan]:
+        """The stored lowering selection for ``key``.
+
+        None when absent, or when the stored plan was selected under a
+        registry whose signature differs from ``registry_sig`` (pass
+        None to skip the signature check).
+        """
+        entry = self._kernel_plans.get(key)
+        if entry is None:
+            return None
+        stored_sig, plan = entry
+        if registry_sig is not None and stored_sig is not None and stored_sig != registry_sig:
+            return None
+        return dict(plan)
+
+    def store_parallel_plan(
+        self, key: CacheKey, plan: Dict[str, Dict[str, object]]
+    ) -> None:
+        """Record the sharding the parallelize pass chose for ``key``."""
+        self._parallel_plans[key] = {p: dict(d) for p, d in plan.items()}
+
+    def parallel_plan(self, key: CacheKey) -> Optional[Dict[str, Dict[str, object]]]:
+        """The stored sharding decision for ``key`` (None if absent)."""
+        plan = self._parallel_plans.get(key)
+        return {p: dict(d) for p, d in plan.items()} if plan is not None else None
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -81,6 +116,7 @@ class PlanCache:
     def clear(self) -> None:
         self._plans.clear()
         self._kernel_plans.clear()
+        self._parallel_plans.clear()
         self.hits = 0
         self.misses = 0
 

@@ -17,9 +17,12 @@ the same key replay the stored selection by name without consulting
 the registry again — repeated sweep compilations pay kernel selection
 once.  The key already includes this pass's
 :meth:`~LowerFusedKernelPass.signature` (``impl`` and ``bits``) and
-the architecture signature (which covers ``k``/``pool`` per layer), so
-changing any lowering knob or shape class changes the key and can
-never serve a stale selection.
+the architecture signature (which covers ``k``/``pool``/``stride`` per
+layer), so changing any lowering knob or shape class changes the key
+and can never serve a stale selection.  The stored plan additionally
+carries the kernel registry's content signature: registering or
+removing a spec invalidates every stored plan, so a newly-registered
+higher-priority kernel is always re-selected.
 
 Semantics declaration: the default float64 lowering is exact (the
 generic kernel and the vectorized autograd path share one code path),
@@ -80,7 +83,15 @@ class LowerFusedKernelPass(Pass):
         from repro.compiler.cache import PLAN_CACHE
 
         cache_key = ctx.state.get("plan_cache_key")
-        stored = PLAN_CACHE.kernel_plan(cache_key) if cache_key is not None else None
+        registry_sig = KERNEL_REGISTRY.signature()
+        # A stored plan is replayed only when the registry still holds
+        # the same spec population it was selected from — registering
+        # (or removing) kernels invalidates every stored plan.
+        stored = (
+            PLAN_CACHE.kernel_plan(cache_key, registry_sig)
+            if cache_key is not None
+            else None
+        )
         from_cache = stored is not None
 
         plan: Dict[str, str] = {}
@@ -97,7 +108,7 @@ class LowerFusedKernelPass(Pass):
             sc = ShapeClass(
                 kernel=mod.weight.shape[-1],
                 pool=mod.pool,
-                stride=mod.pool,
+                stride=getattr(mod, "pool_stride", mod.pool) or mod.pool,
                 bits=self.bits,
                 kind="float",
             )
@@ -110,7 +121,7 @@ class LowerFusedKernelPass(Pass):
             lowered += 1
 
         if cache_key is not None and not from_cache:
-            PLAN_CACHE.store_kernel_plan(cache_key, plan)
+            PLAN_CACHE.store_kernel_plan(cache_key, plan, registry_sig)
         ctx.state["kernel_plan"] = {
             "kernels": dict(plan),
             "from_cache": from_cache,

@@ -140,17 +140,20 @@ class FuseConvPoolPass(Pass):
     preserves_semantics = True
     preserves_params = True
 
-    def __init__(self, strict: bool = True) -> None:
+    def __init__(self, strict: bool = True, overlap: bool = False) -> None:
         self.strict = strict
+        self.overlap = overlap
 
     def run(self, model: Module, ctx: CompileContext) -> PassResult:
         from repro.core.transform import fuse_network
 
-        _, replaced = fuse_network(model, strict=self.strict)
+        _, replaced = fuse_network(model, strict=self.strict, overlap=self.overlap)
         return PassResult(self.name, len(replaced), {"paths": [p for p, _ in replaced]})
 
     def signature(self) -> str:
-        return f"{self.name}(strict={self.strict})"
+        # overlap=False keeps the historical spec string (cache keys stable)
+        extra = ",overlap=True" if self.overlap else ""
+        return f"{self.name}(strict={self.strict}{extra})"
 
 
 @register_pass

@@ -268,6 +268,8 @@ def mlcnn_pipeline(
     lower: bool = True,
     lower_impl: str = "vectorized",
     lower_bits: int = 64,
+    parallel_workers: int = 1,
+    overlap: bool = False,
 ) -> Pipeline:
     """The canonical MLCNN preparation pipeline (Sections III-IV, VII).
 
@@ -282,8 +284,14 @@ def mlcnn_pipeline(
     (``ctx.state["reorder_divergence"]``).  ``lower_bits=32`` selects
     the fp32 NHWC kernel specialization (inexact vs the f64 probe);
     ``lower=False`` omits the lowering stage entirely.
+    ``overlap=True`` lets ``fuse`` take overlapping-pool
+    (stride != pool) blocks too; ``parallel_workers > 1`` appends the
+    ``parallelize`` stage, wrapping every bound kernel for sharded
+    execution on the persistent worker pool
+    (:mod:`repro.core.parallel`).
     """
     from repro.compiler.lower import LowerFusedKernelPass
+    from repro.compiler.parallelize import ParallelizePass
     from repro.compiler.passes import (
         FuseConvPoolPass,
         PrunePass,
@@ -299,11 +307,13 @@ def mlcnn_pipeline(
     ]
     if probe_divergence:
         passes.append(ReorderDivergenceProbePass())
-    passes.append(FuseConvPoolPass(strict=strict))
+    passes.append(FuseConvPoolPass(strict=strict, overlap=overlap))
     if sparsity:
         passes.append(PrunePass(sparsity))
     if bits:
         passes.append(QuantizePass(bits))
     if lower:
         passes.append(LowerFusedKernelPass(impl=lower_impl, bits=lower_bits))
+        if parallel_workers and parallel_workers > 1:
+            passes.append(ParallelizePass(parallel_workers))
     return Pipeline(passes, name="mlcnn")

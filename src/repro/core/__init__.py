@@ -67,6 +67,15 @@ from repro.core.fixedpoint import (
 )
 from repro.core import kernels
 from repro.core.kernels import KERNEL_REGISTRY, KernelRegistry, KernelSpec, ShapeClass
+from repro.core.parallel import (
+    ParallelKernel,
+    ParallelPlanExecutor,
+    available_workers,
+    parallel_fused_conv_pool,
+    parallel_fused_conv_pool_int,
+    plan_shards,
+    shutdown_pools,
+)
 
 __all__ = [
     "rme_multiplication_reduction",
@@ -93,6 +102,13 @@ __all__ = [
     "KernelSpec",
     "KernelRegistry",
     "KERNEL_REGISTRY",
+    "ParallelKernel",
+    "ParallelPlanExecutor",
+    "available_workers",
+    "parallel_fused_conv_pool",
+    "parallel_fused_conv_pool_int",
+    "plan_shards",
+    "shutdown_pools",
     "fuse_network",
     "fused_blocks",
     "prepare_mlcnn",

@@ -57,6 +57,7 @@ def fused_conv_pool(
     padding: int = 0,
     activation: str = "relu",
     impl: str = "vectorized",
+    workers: Optional[int] = None,
 ) -> Tensor:
     """Execute ``ReLU(AvgPool_p(Conv_K(x)))`` as one fused kernel.
 
@@ -71,19 +72,54 @@ def fused_conv_pool(
     original composition (box sum node + ``F.conv2d`` + epilogue ops)
     as the golden reference the equivalence suite compares against.
 
-    Only ``pool_stride == pool`` (non-overlapping pooling) is fusable;
-    the conv stride must be 1 (enforced by callers via
-    ``ConvBlock.is_fusable``).
+    ``pool_stride`` defaults to ``pool`` (non-overlapping pooling);
+    ``pool_stride != pool`` executes the overlapping-pool identity —
+    the convolution over the box-summed input runs at the pool stride
+    instead (:mod:`repro.core.kernels.strided`).  The conv stride must
+    be 1 (enforced by callers via ``ConvBlock.is_fusable``).
+
+    ``workers`` > 1 shards the *inference* execution across the
+    persistent worker pool (:mod:`repro.core.parallel`) — an
+    inference-only optimization: any grad-tracking input silently takes
+    the serial autograd path, since the sharded execution returns a
+    leaf tensor with no backward.
     """
     pool_stride = pool if pool_stride is None else pool_stride
-    if pool_stride != pool:
-        raise ValueError(
-            f"fusion requires non-overlapping pooling, got window {pool} stride {pool_stride}"
-        )
+    if pool_stride < 1:
+        raise ValueError(f"pool stride must be >= 1, got {pool_stride}")
     if impl not in ("vectorized", "reference"):
         raise ValueError(f"impl must be 'vectorized' or 'reference', got {impl!r}")
     x = x if isinstance(x, Tensor) else Tensor(x)
     weight = weight if isinstance(weight, Tensor) else Tensor(weight)
+
+    if (
+        workers is not None
+        and workers > 1
+        and impl == "vectorized"
+        and not (
+            is_grad_enabled()
+            and (x.requires_grad or weight.requires_grad
+                 or (isinstance(bias, Tensor) and bias.requires_grad))
+        )
+    ):
+        from repro.core.parallel import parallel_fused_conv_pool
+
+        if activation not in ("relu", "sigmoid", "tanh", "none"):
+            raise ValueError(f"unknown activation {activation!r}")
+        bias_d = None
+        if bias is not None:
+            bias_d = bias.data if isinstance(bias, Tensor) else np.asarray(bias)
+        out = parallel_fused_conv_pool(
+            x.data,
+            weight.data,
+            bias_d,
+            pool=pool,
+            pool_stride=pool_stride,
+            padding=padding,
+            activation=activation,
+            workers=workers,
+        )
+        return Tensor(out)
 
     if impl == "vectorized":
         if activation not in ("relu", "sigmoid", "tanh", "none"):
@@ -96,6 +132,7 @@ def fused_conv_pool(
             pool=pool,
             padding=padding,
             activation=activation,
+            stride=pool_stride,
         )
         parents = (x, weight) + (() if bias_t is None else (bias_t,))
         node = make_node(out_data, parents)
@@ -136,7 +173,7 @@ def fused_conv_pool(
 
         acc_t._backward = _bw
 
-    out = F.conv2d(acc_t, weight, bias=None, stride=pool)
+    out = F.conv2d(acc_t, weight, bias=None, stride=pool_stride)
     recorder = get_recorder()
     if recorder.enabled:
         # Measured from this execution's actual geometry: the fused conv
@@ -185,10 +222,10 @@ class FusedConvPool(Module):
         super().__init__()
         if impl not in ("vectorized", "reference"):
             raise ValueError(f"impl must be 'vectorized' or 'reference', got {impl!r}")
-        if not conv_block.is_fusable():
+        if not conv_block.is_fusable(allow_overlap=True):
             raise ValueError(
                 "block is not fusable (needs pool_act order, average pooling, "
-                "unit conv stride, non-overlapping pool)"
+                "unit conv stride)"
             )
         if conv_block.bn is not None:
             raise ValueError("fusion of batch-norm blocks is not supported")
@@ -201,6 +238,7 @@ class FusedConvPool(Module):
         object.__setattr__(self, "source", conv_block)
         self.padding = ph
         self.pool = conv_block.pool.kernel
+        self.pool_stride = conv_block.pool.stride
         self.activation = conv_block.activation
         self.impl = impl
         self._kernel = None  # lowered kernel bound by the compiler
@@ -235,13 +273,17 @@ class FusedConvPool(Module):
             self.weight,
             self.bias,
             pool=self.pool,
+            pool_stride=self.pool_stride,
             padding=self.padding,
             activation=self.activation,
             impl=self.impl,
         )
 
     def extra_repr(self) -> str:
-        return f"pool={self.pool}, padding={self.padding}, act={self.activation}"
+        extra = f"pool={self.pool}, padding={self.padding}, act={self.activation}"
+        if self.pool_stride != self.pool:
+            extra += f", stride={self.pool_stride}"  # overlapping-pool signature
+        return extra
 
 
 # ---------------------------------------------------------------------------

@@ -11,6 +11,8 @@ reference), the kernels here define how it executes fast —
   forward/backward: box sum, pooled-patch gather, one GEMM.
 * :mod:`~repro.core.kernels.nhwc` — the fp32 channels-last
   specialization with plan-time workspaces (the benchmark fast path).
+* :mod:`~repro.core.kernels.strided` — the overlapping-pool
+  (``stride != pool``) float64 lowering: cumsum + strided gather.
 * :mod:`~repro.core.kernels.intpath` — exact int64 accumulation for
   the fixed-point path (bit-identical to the reference loop).
 * :mod:`~repro.core.kernels.registry` — shape-class registry the
@@ -33,6 +35,7 @@ from repro.core.kernels.registry import (
     KernelSpec,
     ShapeClass,
 )
+from repro.core.kernels.strided import StridedF64Kernel
 
 __all__ = [
     "box_sum_cumsum",
@@ -43,6 +46,7 @@ __all__ = [
     "record_rme_counters",
     "GenericF64Kernel",
     "F32NHWCKernel",
+    "StridedF64Kernel",
     "conv_over_boxsum_int",
     "ShapeClass",
     "KernelSpec",

@@ -51,7 +51,9 @@ def record_rme_counters(
     weight once per *pooled* output; a dense run would touch it once
     per conv output and pay one scaling mult per pooled output (a free
     shift in the fused kernel).  Identical to the reference path's
-    accounting in :mod:`repro.core.fusion`.
+    accounting in :mod:`repro.core.fusion`.  The pooled-output count
+    ``po * qo`` already reflects the pool stride, so the same formula
+    holds for overlapping (``stride != pool``) executions.
     """
     recorder = get_recorder()
     if not recorder.enabled:
@@ -76,6 +78,11 @@ class FusedResiduals:
     x_shape: Tuple[int, int, int, int]  # (N, C, H, W) unpadded
     acc_shape: Tuple[int, int, int, int]  # (N, C, Ha, Wa) box-sum plane
     k: int
+    stride: int = 0  # pool stride (0 means == pool, the non-overlapping case)
+
+    @property
+    def pool_stride(self) -> int:
+        return self.stride or self.pool
 
 
 def fused_forward(
@@ -86,13 +93,21 @@ def fused_forward(
     padding: int = 0,
     activation: str = "relu",
     record: bool = True,
+    stride: Optional[int] = None,
 ) -> Tuple[np.ndarray, FusedResiduals]:
     """Vectorized ``activation(AvgPool_p(Conv_K(x)))`` on raw arrays.
 
-    ``x``: (N, C, H, W); ``weight``: (M, C, K, K); non-overlapping
-    pooling only (callers enforce ``pool_stride == pool``).  Returns
-    the NCHW output and the residuals for :func:`fused_backward`.
+    ``x``: (N, C, H, W); ``weight``: (M, C, K, K).  ``stride`` is the
+    pool stride and defaults to ``pool`` (the non-overlapping case);
+    ``stride != pool`` gathers the same box-sum patches at the strided
+    positions, which is exactly the overlapping-pool identity — each
+    pooled output is still one K x K ``I_Acc`` patch dotted with the
+    weights.  Returns the NCHW output and the residuals for
+    :func:`fused_backward`.
     """
+    stride = pool if stride is None else stride
+    if stride < 1:
+        raise ValueError(f"pool stride must be >= 1, got {stride}")
     n, c, h, w = x.shape
     m, cw, k, _ = weight.shape
     if c != cw:
@@ -100,12 +115,12 @@ def fused_forward(
     xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding))) if padding else x
     acc = box_sum_cumsum(xp, pool)
     ha, wa = acc.shape[-2:]
-    po = (ha - k) // pool + 1
-    qo = (wa - k) // pool + 1
+    po = (ha - k) // stride + 1
+    qo = (wa - k) // stride + 1
     if po < 1 or qo < 1:
         raise ValueError("input too small for one pooled output")
     # One K x K patch of I_Acc per pooled output (RME in closed form).
-    win = sliding_window_view(acc, (k, k), axis=(-2, -1))[:, :, ::pool, ::pool]
+    win = sliding_window_view(acc, (k, k), axis=(-2, -1))[:, :, ::stride, ::stride]
     win = win[:, :, :po, :qo]
     cols = np.ascontiguousarray(win.transpose(0, 2, 3, 1, 4, 5)).reshape(
         n * po * qo, c * k * k
@@ -138,6 +153,7 @@ def fused_forward(
         x_shape=(n, c, h, w),
         acc_shape=acc.shape,
         k=k,
+        stride=stride,
     )
     return out, res
 
@@ -155,6 +171,7 @@ def fused_backward(
     n, c, h, w = res.x_shape
     _, _, ha, wa = res.acc_shape
     pool, k, padding = res.pool, res.k, res.padding
+    stride = res.pool_stride
     out = res.out
     if res.activation == "relu":
         g = g * (out > 0)
@@ -174,7 +191,7 @@ def fused_backward(
     gacc = np.zeros((n, c, ha, wa), dtype=g.dtype)
     for ki in range(k):
         for kj in range(k):
-            gacc[:, :, ki : ki + pool * po : pool, kj : kj + pool * qo : pool] += gc[
+            gacc[:, :, ki : ki + stride * po : stride, kj : kj + stride * qo : stride] += gc[
                 ..., ki, kj
             ]
     hp, wp = ha + pool - 1, wa + pool - 1
@@ -218,6 +235,7 @@ class GenericF64Kernel:
             padding=padding,
             activation=activation,
             record=record,
+            stride=self.shape_class.stride,
         )
         return out
 

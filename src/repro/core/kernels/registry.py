@@ -7,18 +7,22 @@ implementation.  Selection is deterministic: registered
 :class:`KernelSpec` entries are ordered by descending priority then
 name, and the first whose predicate matches wins.  Built-ins:
 
-==================  ========  =======================================
-spec                priority  matches
-==================  ========  =======================================
-``fused-f32-nhwc``  10        float, ``bits == 32``, non-overlapping
-``fused-int64-acc`` 10        ``kind == "int"`` (fixed-point path)
-``fused-generic-f64``  0      any float class (the exact fallback)
-==================  ========  =======================================
+=====================  ========  =======================================
+spec                   priority  matches
+=====================  ========  =======================================
+``fused-f32-nhwc``     10        float, ``bits == 32``, non-overlapping
+``fused-int64-acc``    10        ``kind == "int"`` (fixed-point path)
+``fused-strided-f64``  5         float, ``stride != pool`` (overlapping)
+``fused-generic-f64``  0         non-overlapping float (exact fallback)
+=====================  ========  =======================================
 
 ``registry.selections`` counts how many times a full selection ran —
 the plan cache replays stored selections by name instead, so repeated
 sweep compilations pay kernel selection once (asserted in
-``tests/compiler/test_lower.py``).
+``tests/compiler/test_lower.py``).  :meth:`KernelRegistry.signature`
+digests the registered contents; the plan cache stores it next to each
+kernel plan and refuses to replay a plan recorded under a different
+registry (see :mod:`repro.compiler.cache`).
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ class ShapeClass:
 
     kernel: int  #: conv kernel size K
     pool: int  #: pool window p
-    stride: int  #: pool stride (fusable layers have stride == pool)
+    stride: int  #: pool stride (== pool for non-overlapping pooling)
     bits: int = 64  #: arithmetic width of the requested datapath
     kind: str = "float"  #: "float" or "int" (fixed-point) arithmetic
 
@@ -84,6 +88,12 @@ class KernelRegistry:
         self._specs[spec.name] = spec
         return spec
 
+    def unregister(self, name: str) -> KernelSpec:
+        """Remove a registered spec (tests, experimental kernels)."""
+        if name not in self._specs:
+            raise KeyError(f"unknown kernel {name!r}; available: {self.names()}")
+        return self._specs.pop(name)
+
     def get(self, name: str) -> KernelSpec:
         if name not in self._specs:
             raise KeyError(f"unknown kernel {name!r}; available: {self.names()}")
@@ -91,6 +101,21 @@ class KernelRegistry:
 
     def names(self) -> List[str]:
         return sorted(self._specs)
+
+    def signature(self) -> str:
+        """Digest of the registered contents (names + priorities).
+
+        Stored next to every cached kernel plan: a plan recorded under
+        one registry population must not be replayed after specs were
+        added or removed, since a fresh selection could now pick a
+        different kernel (see ``PlanCache.kernel_plan``).
+        """
+        import hashlib
+
+        payload = ";".join(f"{s.name}@{s.priority}" for s in sorted(
+            self._specs.values(), key=lambda s: s.name
+        ))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     def candidates(self, sc: ShapeClass) -> List[KernelSpec]:
         ordered = sorted(self._specs.values(), key=lambda s: (-s.priority, s.name))
@@ -101,7 +126,10 @@ class KernelRegistry:
         self.selections += 1
         matching = self.candidates(sc)
         if not matching:
-            raise LookupError(f"no registered kernel matches shape class {sc}")
+            raise LookupError(
+                f"no registered kernel matches shape class {sc!r} "
+                f"(registered: {self.names()})"
+            )
         return matching[0]
 
     def make(self, sc: ShapeClass) -> Any:
@@ -119,6 +147,12 @@ def _make_f32_nhwc(sc: ShapeClass):
     from repro.core.kernels.nhwc import F32NHWCKernel
 
     return F32NHWCKernel(sc)
+
+
+def _make_strided_f64(sc: ShapeClass):
+    from repro.core.kernels.strided import StridedF64Kernel
+
+    return StridedF64Kernel(sc)
 
 
 class IntAccKernel:
@@ -173,5 +207,14 @@ KERNEL_REGISTRY.register(
         factory=IntAccKernel,
         predicate=lambda sc: sc.kind == "int",
         description="int64-accumulator fixed-point path with saturation counters",
+    )
+)
+KERNEL_REGISTRY.register(
+    KernelSpec(
+        name="fused-strided-f64",
+        priority=5,
+        factory=_make_strided_f64,
+        predicate=lambda sc: sc.kind == "float" and sc.stride != sc.pool,
+        description="float64 cumsum + strided gather for overlapping pooling",
     )
 )

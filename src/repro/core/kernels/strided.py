@@ -1,0 +1,77 @@
+"""The strided float kernel: overlapping pooling (``stride != pool``).
+
+The fused identity does not actually require non-overlapping pooling:
+an average pool of window ``p`` and *any* stride ``s`` over a stride-1
+K x K convolution equals a stride-``s`` K x K convolution over the
+``p x p`` box sum of the input, scaled by ``1/p^2``.  The stride only
+selects *which* ``I_Acc`` patches feed the GEMM; the per-output math
+is unchanged.  So the strided lowering is the generic cumsum kernel
+with a strided gather:
+
+1. **box sum** — :func:`~repro.core.kernels.boxsum.box_sum_cumsum`
+   builds ``I_Acc`` once; overlapping windows share it for free (the
+   GAR reuse argument gets *stronger* as windows overlap more).
+2. **strided gather** — ``sliding_window_view`` subsampled at stride
+   ``s`` (not ``p``) collects one K x K patch per pooled output.
+3. **GEMM + epilogue** — identical to the non-overlapping path.
+
+This fills the registry gap the lowering backend left by design:
+``ShapeClass(stride != pool, kind="float")`` previously matched no
+spec and :meth:`~repro.core.kernels.registry.KernelRegistry.select`
+raised ``LookupError``.  :class:`StridedF64Kernel` registers as
+``fused-strided-f64`` for exactly those classes; equivalence against
+the unfused ``Conv -> AvgPool(p, s) -> ReLU`` composition is enforced
+by ``tests/core/test_strided.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.kernels.fused import fused_forward
+
+__all__ = ["StridedF64Kernel"]
+
+
+class StridedF64Kernel:
+    """Float64 NCHW lowering for overlapping-pool shape classes."""
+
+    name = "fused-strided-f64"
+    layout = "nchw"
+
+    def __init__(self, shape_class) -> None:
+        if shape_class.stride == shape_class.pool:
+            raise ValueError(
+                f"strided kernel is for stride != pool classes, got {shape_class}"
+            )
+        self.shape_class = shape_class
+
+    def __call__(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        *,
+        padding: int = 0,
+        activation: str = "relu",
+        record: bool = True,
+    ) -> np.ndarray:
+        out, _ = fused_forward(
+            x,
+            weight,
+            bias,
+            pool=self.shape_class.pool,
+            padding=padding,
+            activation=activation,
+            record=record,
+            stride=self.shape_class.stride,
+        )
+        return out
+
+    #: NCHW entry point (native layout already NCHW)
+    run_nchw = __call__
+
+    def __repr__(self) -> str:
+        return f"<StridedF64Kernel {self.shape_class}>"

@@ -22,13 +22,18 @@ from repro.models.blocks import ConvBlock
 from repro.nn.layers import Module
 
 
-def _replace_children(module: Module, replaced: List[Tuple[str, FusedConvPool]], prefix: str) -> None:
+def _replace_children(
+    module: Module,
+    replaced: List[Tuple[str, FusedConvPool]],
+    prefix: str,
+    overlap: bool = False,
+) -> None:
     for name, child in list(module._modules.items()):
         path = f"{prefix}{name}"
         if (
             isinstance(child, ConvBlock)
             and child.pool is not None
-            and child.is_fusable()
+            and child.is_fusable(allow_overlap=overlap)
             and child.bn is None
             and child.conv.padding[0] == child.conv.padding[1]
         ):
@@ -37,11 +42,11 @@ def _replace_children(module: Module, replaced: List[Tuple[str, FusedConvPool]],
             object.__setattr__(module, name, fused)
             replaced.append((path, fused))
         else:
-            _replace_children(child, replaced, path + ".")
+            _replace_children(child, replaced, path + ".", overlap)
 
 
 def fuse_network(
-    model: Module, strict: bool = True
+    model: Module, strict: bool = True, overlap: bool = False
 ) -> Tuple[Module, List[Tuple[str, FusedConvPool]]]:
     """Fuse every eligible conv-pool block in ``model`` (in place).
 
@@ -52,9 +57,12 @@ def fuse_network(
     ``strict=False`` an empty ``replaced`` list is returned instead, so
     pipelines compose over models with no fusable stages (e.g.
     DenseNet-style 1x1-output stages) without try/except glue.
+    ``overlap=True`` additionally fuses overlapping average pools
+    (``stride != kernel``) — those layers lower to the strided kernel
+    class (:mod:`repro.core.kernels.strided`).
     """
     replaced: List[Tuple[str, FusedConvPool]] = []
-    _replace_children(model, replaced, "")
+    _replace_children(model, replaced, "", overlap)
     if not replaced and strict:
         raise ValueError(
             "no fusable conv-pool blocks found; reorder the model "

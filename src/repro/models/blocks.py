@@ -88,19 +88,23 @@ class ConvBlock(Module):
         self.order = order
 
     # -- MLCNN hooks ---------------------------------------------------------
-    def is_fusable(self) -> bool:
+    def is_fusable(self, allow_overlap: bool = False) -> bool:
         """True when this block matches the MLCNN fused conv-pool pattern.
 
         Requires the reordered layout (pool before activation), average
         pooling, and a unit conv stride (the fused kernel computes a
-        stride-``p`` convolution over the box-summed input).
+        strided convolution over the box-summed input).  By default the
+        pool must be non-overlapping (``stride == kernel``);
+        ``allow_overlap=True`` accepts any pool stride — the strided
+        lowering (:mod:`repro.core.kernels.strided`) gathers the same
+        box-sum patches at the pool-stride positions.
         """
         return (
             self.pool is not None
             and self.pool.kind == "avg"
             and self.order == "pool_act"
             and self.conv.stride == (1, 1)
-            and self.pool.stride == self.pool.kernel
+            and (allow_overlap or self.pool.stride == self.pool.kernel)
         )
 
     def _act(self, x: Tensor) -> Tensor:
@@ -124,6 +128,8 @@ class ConvBlock(Module):
 
     def extra_repr(self) -> str:
         pool = f"{self.pool.kind}{self.pool.kernel}" if self.pool else "none"
+        if self.pool is not None and self.pool.stride != self.pool.kernel:
+            pool += f"s{self.pool.stride}"  # overlapping pools alter the signature
         return f"act={self.activation}, pool={pool}, order={self.order}"
 
 

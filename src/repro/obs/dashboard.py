@@ -93,6 +93,74 @@ def _area_section(
     )
 
 
+#: metric stems of the worker-scaling curve (qualified by [workers=N])
+_PARALLEL_STEMS = (
+    "kernel.parallel_samples_per_sec",
+    "kernel.parallel_scaling_efficiency",
+)
+
+
+def _parallel_workers_of(key: str, stem: str) -> Optional[int]:
+    """N from ``<stem>[workers=N]``, else None."""
+    prefix = f"{stem}[workers="
+    if key.startswith(prefix) and key.endswith("]"):
+        try:
+            return int(key[len(prefix):-1])
+        except ValueError:
+            return None
+    return None
+
+
+def _parallel_section(
+    registry: MetricRegistry, current: Optional[Mapping[str, float]]
+) -> Optional[_Section]:
+    """The worker-scaling curve, one row per worker count.
+
+    Collates ``kernel.parallel_samples_per_sec[workers=N]`` and
+    ``kernel.parallel_scaling_efficiency[workers=N]`` from the ``accel``
+    area (current run first, committed baseline as fallback); None when
+    no parallel metrics exist yet.
+    """
+    baseline = registry.baseline("accel") or {}
+    cur = dict(current or {})
+    merged = {**baseline, **cur}
+    per_worker: Dict[int, Dict[str, float]] = {}
+    for key, value in merged.items():
+        for stem in _PARALLEL_STEMS:
+            n = _parallel_workers_of(key, stem)
+            if n is not None:
+                per_worker.setdefault(n, {})[stem] = value
+    if not per_worker:
+        return None
+    rows: List[List[str]] = []
+    for n in sorted(per_worker):
+        vals = per_worker[n]
+        rate = vals.get(_PARALLEL_STEMS[0])
+        eff = vals.get(_PARALLEL_STEMS[1])
+        rate_key = f"{_PARALLEL_STEMS[0]}[workers={n}]"
+        series = [v for _, v in registry.series("accel", rate_key)]
+        if rate_key in cur:
+            series = series + [cur[rate_key]]
+        rows.append(
+            [
+                str(n),
+                "-" if rate is None else f"{rate:.6g}",
+                "-" if eff is None else f"{eff:.3f}",
+                "-" if eff is None else f"{n * eff:.2f}x",
+                sparkline(series) or "·",
+            ]
+        )
+    return _Section(
+        "Parallel scaling",
+        ["workers", "samples/s", "efficiency", "speedup", "trend"],
+        rows,
+        [
+            "efficiency = rate / (workers x serial rate); 1.0 is linear "
+            "scaling. Host-dependent: advisory in the gate."
+        ],
+    )
+
+
 def _numerics_section(report: Mapping) -> _Section:
     """Numerics health: per-layer streams, clip counters, divergence."""
     rows: List[List[str]] = []
@@ -167,6 +235,9 @@ def build_dashboard(
     areas = sorted(set(registry.areas()) | set(current or {}))
     for area in areas:
         sections.append(_area_section(registry, area, (current or {}).get(area)))
+    parallel = _parallel_section(registry, (current or {}).get("accel"))
+    if parallel is not None:
+        sections.append(parallel)
     if numerics is not None:
         sections.append(_numerics_section(numerics))
     if gate_report is not None:

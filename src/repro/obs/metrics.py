@@ -133,6 +133,18 @@ class OpCounters:
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         return self
 
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, float]) -> "OpCounters":
+        """Rebuild from :meth:`as_dict` output (or any field mapping).
+
+        Tolerates the derived keys (``additions``, ``reuse_hits``) and
+        any unknown keys — required for round-tripping counters through
+        worker processes, whose serialized dicts may carry derived
+        totals the constructor does not accept.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in doc.items() if k in known})
+
     def as_dict(self, include_derived: bool = True) -> Dict[str, float]:
         doc: Dict[str, float] = asdict(self)
         if include_derived:

@@ -74,6 +74,12 @@ class TolerancePolicy:
 #: worse, which fails the gate like a performance regression.
 POLICY_OVERRIDES: Dict[str, TolerancePolicy] = {
     "kernel.": TolerancePolicy(direction="higher", rel_tol=0.90, required=False),
+    # Parallel scaling depends entirely on the host's core count (a
+    # 1-core runner legitimately measures < 0.5 at workers=2), so the
+    # curve is trended with a wide advisory band rather than gated.
+    "kernel.parallel_scaling_efficiency": TolerancePolicy(
+        direction="higher", rel_tol=0.75, abs_tol=0.05, required=False
+    ),
     "numerics.": TolerancePolicy(direction="lower", rel_tol=0.25, abs_tol=1e-6),
 }
 

@@ -178,3 +178,36 @@ class TestPlanCacheInvalidation:
         assert PLAN_CACHE.kernel_plan(key) is not None
         clear_plan_cache()
         assert PLAN_CACHE.kernel_plan(key) is None
+
+    def test_registry_change_invalidates_stored_plans(self):
+        """Registering (or removing) a kernel spec changes the registry
+        signature, so a plan selected under the old population is not
+        replayed — the lowering pass re-selects from scratch."""
+        from repro.core.kernels import KernelSpec
+
+        ctx = CompileContext()
+        mlcnn_pipeline().run(build_model("lenet5"), ctx)
+        key = ctx.state["plan_cache_key"]
+        sig_before = KERNEL_REGISTRY.signature()
+        assert PLAN_CACHE.kernel_plan(key, sig_before) is not None
+
+        spec = KernelSpec(
+            "test-ephemeral", -100, lambda sc: None, lambda sc: False
+        )
+        KERNEL_REGISTRY.register(spec)
+        try:
+            sig_after = KERNEL_REGISTRY.signature()
+            assert sig_after != sig_before
+            # stale plan refused under the new signature...
+            assert PLAN_CACHE.kernel_plan(key, sig_after) is None
+            # ...and a recompilation re-selects rather than replaying
+            ctx2 = CompileContext()
+            mlcnn_pipeline().run(build_model("lenet5"), ctx2)
+            assert not ctx2.state["kernel_plan"]["from_cache"]
+        finally:
+            KERNEL_REGISTRY.unregister("test-ephemeral")
+        # removal restores the original signature: stored plans valid again
+        assert KERNEL_REGISTRY.signature() == sig_before
+
+    def test_signature_stable_across_reads(self):
+        assert KERNEL_REGISTRY.signature() == KERNEL_REGISTRY.signature()

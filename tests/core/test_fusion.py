@@ -93,13 +93,23 @@ class TestVectorizedEquivalence:
                 activation="swish",
             )
 
-    def test_rejects_overlapping_pool(self, rng):
+    def test_overlapping_pool_matches_unfused(self, rng):
+        """stride != pool is no longer rejected: it lowers to the
+        strided gather (cumsum identity holds for any pool stride)."""
+        x = Tensor(rng.normal(size=(1, 1, 8, 8)))
+        w = Tensor(rng.normal(size=(1, 1, 3, 3)))
+        with no_grad():
+            fused = fused_conv_pool(x, w, pool=3, pool_stride=2).data
+            ref = F.relu(F.avg_pool2d(F.conv2d(x, w), 3, stride=2)).data
+        np.testing.assert_allclose(fused, ref, atol=1e-12)
+
+    def test_rejects_invalid_pool_stride(self, rng):
         with pytest.raises(ValueError):
             fused_conv_pool(
                 Tensor(rng.normal(size=(1, 1, 8, 8))),
                 Tensor(rng.normal(size=(1, 1, 3, 3))),
                 pool=3,
-                pool_stride=2,
+                pool_stride=0,
             )
 
     @settings(max_examples=25, deadline=None)

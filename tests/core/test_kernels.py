@@ -311,9 +311,19 @@ class TestKernelRegistry:
         names = {KERNEL_REGISTRY.select(sc).name for _ in range(5)}
         assert names == {"fused-f32-nhwc"}
 
-    def test_overlapping_pool_has_no_float_kernel(self):
-        with pytest.raises(LookupError):
-            KERNEL_REGISTRY.select(ShapeClass(3, 3, 2, 64))
+    def test_overlapping_pool_selects_strided_kernel(self):
+        spec = KERNEL_REGISTRY.select(ShapeClass(3, 3, 2, 64))
+        assert spec.name == "fused-strided-f64"
+
+    def test_unregistered_shape_class_error_names_shape_class(self):
+        reg = KernelRegistry()
+        sc = ShapeClass(3, 3, 2, 64)
+        with pytest.raises(LookupError, match=r"ShapeClass\("):
+            reg.select(sc)
+        try:
+            reg.select(sc)
+        except LookupError as exc:
+            assert repr(sc) in str(exc)
 
     def test_duplicate_registration_rejected(self):
         reg = KernelRegistry()

@@ -1,0 +1,373 @@
+"""The multi-core parallel execution engine.
+
+Three layers of coverage:
+
+* pure planning/arena logic (no processes) — shard geometry, arena
+  recycling, counter merge/round-trip semantics;
+* the counter-merge regression bar — two disjoint shard collections
+  merged must sum to within 1% of the serial analytic model, the same
+  bar ``tests/obs/test_counters_crosscheck.py`` holds serial runs to;
+* live worker-pool execution — equivalence to the serial kernels
+  (exact for int, float round-off for floats), counter and tracer
+  flow-back, the ``parallelize`` compiler stage, and the full-plan
+  executor.  These spawn real processes; the pools persist across the
+  module and are torn down once at the end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    CompileContext,
+    ParallelizePass,
+    PLAN_CACHE,
+    clear_plan_cache,
+    lowered_kernels,
+    mlcnn_pipeline,
+)
+from repro.core.fixedpoint import QuantizedTensor, fused_conv_pool_int, quantize_tensor
+from repro.core.fusion import fused_conv_pool, fused_conv_pool_counted
+from repro.core.parallel import (
+    ArenaPool,
+    ParallelKernel,
+    ParallelPlanExecutor,
+    SharedArena,
+    Shard,
+    available_workers,
+    parallel_fused_conv_pool,
+    parallel_fused_conv_pool_int,
+    plan_shards,
+    shutdown_pools,
+)
+from repro.core.opcount import mlcnn_layer_ops
+from repro.models import build_model
+from repro.models.specs import LayerSpec
+from repro.nn.tensor import Tensor, no_grad
+from repro.obs.metrics import OpCounters, collect_counters
+from repro.obs.tracer import get_tracer
+
+RTOL = 0.01  # the crosscheck suite's 1% acceptance bar
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pools():
+    yield
+    shutdown_pools()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+# ---------------------------------------------------------------------------
+# Planning (no processes)
+# ---------------------------------------------------------------------------
+
+class TestPlanShards:
+    def test_batch_axis_preferred(self):
+        shards = plan_shards(8, 16, 4)
+        assert all(s.axis == "images" for s in shards)
+        assert [s.size for s in shards] == [2, 2, 2, 2]
+
+    def test_uneven_batch_split_covers_everything(self):
+        shards = plan_shards(7, 16, 3)
+        assert [(s.start, s.stop) for s in shards] == [(0, 3), (3, 5), (5, 7)]
+
+    def test_small_batch_falls_back_to_channels(self):
+        shards = plan_shards(2, 6, 4)
+        assert all(s.axis == "channels" for s in shards)
+        assert sum(s.size for s in shards) == 6
+
+    def test_single_worker_is_one_shard(self):
+        assert plan_shards(8, 16, 1) == [Shard("images", 0, 8)]
+
+    def test_never_more_shards_than_units(self):
+        assert len(plan_shards(2, 3, 8)) == 3  # channels axis, 3 units
+
+
+class TestArenas:
+    def test_put_view_round_trip(self, rng):
+        a = rng.normal(size=(3, 4, 5))
+        arena = SharedArena(a.nbytes)
+        try:
+            arena.put(a)
+            np.testing.assert_array_equal(arena.view(a.shape, a.dtype), a)
+        finally:
+            arena.close()
+
+    def test_view_rejects_overflow(self):
+        arena = SharedArena(64)
+        try:
+            with pytest.raises(ValueError):
+                arena.view((100,), np.float64)
+        finally:
+            arena.close()
+
+    def test_pool_recycles_by_name(self):
+        pool = ArenaPool()
+        try:
+            a = pool.acquire(1024)
+            name = a.name
+            pool.release(a)
+            b = pool.acquire(512)  # smaller request reuses the segment
+            assert b.name == name
+        finally:
+            pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Counter merge semantics (satellite: OpCounters.merge in the reducer)
+# ---------------------------------------------------------------------------
+
+class TestCounterMerge:
+    def test_from_dict_tolerates_derived_keys(self):
+        oc = OpCounters(mults=5, half_additions=3)
+        doc = oc.as_dict(include_derived=True)  # adds additions/reuse_hits
+        back = OpCounters.from_dict(doc)
+        assert back == oc
+
+    def test_merge_is_fieldwise_sum(self):
+        a = OpCounters(mults=2, dram_bytes=1.5)
+        b = OpCounters(mults=3, lar_reuse_hits=7)
+        merged = OpCounters.from_dict(a.as_dict()).merge(b)
+        assert merged.mults == 5
+        assert merged.dram_bytes == 1.5
+        assert merged.lar_reuse_hits == 7
+
+    def test_disjoint_shards_merge_to_analytic_model(self):
+        """The parallel reducer's contract: counters collected from two
+        disjoint image shards, merged, must sum to within 1% of the
+        serial analytic model for the whole batch."""
+        spec = LayerSpec(
+            "k3p2", in_channels=3, out_channels=4, input_size=12, kernel=3, pool=2
+        )
+        rng = np.random.default_rng(0)
+        batch = rng.normal(size=(4, spec.in_channels, spec.input_size, spec.input_size))
+        w = rng.normal(
+            size=(spec.out_channels, spec.in_channels, spec.kernel, spec.kernel)
+        )
+        b = rng.normal(size=spec.out_channels)
+
+        shard_counts = []
+        for lo, hi in ((0, 2), (2, 4)):
+            with collect_counters() as oc:
+                for i in range(lo, hi):
+                    fused_conv_pool_counted(batch[i], w, b, pool=spec.pool)
+            shard_counts.append(OpCounters.from_dict(oc.as_dict(include_derived=False)))
+
+        merged = OpCounters()
+        for part in shard_counts:
+            merged.merge(part)
+
+        ml = mlcnn_layer_ops(spec)
+        n = len(batch)
+        assert merged.mults == pytest.approx(n * ml.multiplications, rel=RTOL)
+        assert merged.half_additions + merged.full_additions == pytest.approx(
+            n * ml.preprocessing_additions, rel=RTOL
+        )
+        assert merged.major_additions + merged.bias_additions == pytest.approx(
+            n * ml.additions, rel=RTOL
+        )
+
+
+# ---------------------------------------------------------------------------
+# Live worker-pool execution
+# ---------------------------------------------------------------------------
+
+WORKERS = 2
+
+
+class TestParallelKernelExecution:
+    def test_batch_shard_matches_serial(self, rng):
+        x = rng.normal(size=(6, 3, 16, 16))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        with no_grad():
+            serial = fused_conv_pool(Tensor(x), Tensor(w), Tensor(b), pool=2).data
+        par = parallel_fused_conv_pool(x, w, b, pool=2, workers=WORKERS)
+        np.testing.assert_allclose(par, serial, atol=1e-12)
+
+    def test_channel_shard_matches_serial(self, rng):
+        x = rng.normal(size=(1, 3, 16, 16))  # batch < workers -> channel axis
+        w = rng.normal(size=(4, 3, 3, 3))
+        with no_grad():
+            serial = fused_conv_pool(Tensor(x), Tensor(w), pool=2).data
+        par = parallel_fused_conv_pool(x, w, None, pool=2, workers=WORKERS)
+        np.testing.assert_allclose(par, serial, atol=1e-12)
+
+    def test_strided_kernel_shards_too(self, rng):
+        x = rng.normal(size=(4, 2, 13, 13))
+        w = rng.normal(size=(3, 2, 3, 3))
+        with no_grad():
+            serial = fused_conv_pool(Tensor(x), Tensor(w), pool=3, pool_stride=2).data
+        par = parallel_fused_conv_pool(x, w, None, pool=3, pool_stride=2, workers=WORKERS)
+        np.testing.assert_allclose(par, serial, atol=1e-12)
+
+    def test_int_kernel_is_bit_identical(self, rng):
+        x = rng.normal(size=(5, 2, 12, 12))
+        w = rng.normal(size=(3, 2, 3, 3))
+        b = rng.normal(size=3)
+        xq, wq = quantize_tensor(x, bits=8), quantize_tensor(w, bits=8)
+        serial = np.stack(
+            [
+                fused_conv_pool_int(
+                    QuantizedTensor(xq.values[i], xq.scale, xq.bits), wq, b, pool=2
+                )
+                for i in range(len(x))
+            ]
+        )
+        par = parallel_fused_conv_pool_int(xq, wq, b, pool=2, workers=WORKERS)
+        assert (par == serial).all()  # integer addition is associative
+
+    def test_workers_arg_on_fused_conv_pool(self, rng):
+        x = rng.normal(size=(4, 2, 12, 12))
+        w = rng.normal(size=(3, 2, 3, 3))
+        with no_grad():
+            serial = fused_conv_pool(Tensor(x), Tensor(w), pool=2).data
+            par = fused_conv_pool(Tensor(x), Tensor(w), pool=2, workers=WORKERS).data
+        np.testing.assert_allclose(par, serial, atol=1e-12)
+
+    def test_grad_path_stays_serial_and_trainable(self, rng):
+        x = Tensor(rng.normal(size=(2, 1, 8, 8)))
+        w = Tensor(rng.normal(size=(2, 1, 3, 3)))
+        x.requires_grad = w.requires_grad = True
+        out = fused_conv_pool(x, w, pool=2, workers=WORKERS)
+        out.sum().backward()  # would fail if the sharded leaf were returned
+        assert x.grad is not None and w.grad is not None
+
+    def test_serial_fallback_workers_1(self, rng):
+        x = rng.normal(size=(4, 2, 12, 12))
+        w = rng.normal(size=(3, 2, 3, 3))
+        with no_grad():
+            serial = fused_conv_pool(Tensor(x), Tensor(w), pool=2).data
+        assert (parallel_fused_conv_pool(x, w, None, pool=2, workers=1) == serial).all()
+
+    def test_worker_counters_merge_into_parent(self, rng):
+        x = rng.normal(size=(4, 2, 12, 12))
+        w = rng.normal(size=(3, 2, 3, 3))
+        with collect_counters() as serial_oc:
+            parallel_fused_conv_pool(x, w, None, pool=2, workers=1)
+        with collect_counters() as par_oc:
+            parallel_fused_conv_pool(x, w, None, pool=2, workers=WORKERS)
+        assert par_oc.mults == serial_oc.mults > 0
+        assert par_oc.mults_eliminated == serial_oc.mults_eliminated
+
+    def test_parent_reemits_shard_spans(self, rng):
+        x = rng.normal(size=(4, 2, 12, 12))
+        w = rng.normal(size=(3, 2, 3, 3))
+        tracer = get_tracer()
+        tracer.enable()
+        tracer.clear()
+        try:
+            parallel_fused_conv_pool(x, w, None, pool=2, workers=WORKERS)
+            names = [e.name for e in tracer.events]
+            shard_events = [
+                e for e in tracer.events if e.name == "parallel.shard.kernel"
+            ]
+            assert "parallel.fused_conv_pool" in names
+            assert len(shard_events) == WORKERS
+            assert all(e.attrs["wall_time_s"] > 0 for e in shard_events)
+        finally:
+            tracer.disable()
+            tracer.clear()
+
+    def test_available_workers_positive(self):
+        assert available_workers() >= 1
+
+
+class TestParallelizePass:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        clear_plan_cache()
+        yield
+        clear_plan_cache()
+
+    def test_pipeline_wraps_kernels_and_records_plan(self):
+        ctx = CompileContext()
+        model, report = mlcnn_pipeline(parallel_workers=WORKERS).run(
+            build_model("lenet5", seed=3), ctx
+        )
+        rec = report.record_for("parallelize")
+        assert rec.ran and rec.rewrites == 2 and rec.validated
+        for _, kern in lowered_kernels(model):
+            assert isinstance(kern, ParallelKernel)
+            assert kern.workers == WORKERS
+        stored = PLAN_CACHE.parallel_plan(ctx.state["plan_cache_key"])
+        assert stored is not None
+        assert all(d["workers"] == WORKERS for d in stored.values())
+        assert ctx.state["parallel_plan"] == stored
+
+    def test_parallel_pipeline_output_matches_serial(self, rng):
+        model, _ = mlcnn_pipeline(parallel_workers=WORKERS).run(
+            build_model("lenet5", seed=3)
+        )
+        serial, _ = mlcnn_pipeline().run(
+            build_model("lenet5", seed=3), CompileContext(use_cache=False)
+        )
+        x = Tensor(rng.normal(size=(4, 3, 32, 32)))
+        with no_grad():
+            np.testing.assert_allclose(
+                model(x).data, serial(x).data, atol=1e-12
+            )
+
+    def test_workers_1_omits_the_stage(self):
+        pipe = mlcnn_pipeline(parallel_workers=1)
+        assert pipe.spec() == mlcnn_pipeline().spec()  # byte-for-byte serial
+        model, report = pipe.run(build_model("lenet5", seed=3))
+        with pytest.raises(KeyError):
+            report.record_for("parallelize")
+        for _, kern in lowered_kernels(model):
+            assert not isinstance(kern, ParallelKernel)
+
+    def test_signature_carries_worker_count(self):
+        assert ParallelizePass(3).signature() == "parallelize(workers=3)"
+        specs = {
+            mlcnn_pipeline(parallel_workers=2).spec(),
+            mlcnn_pipeline(parallel_workers=4).spec(),
+            mlcnn_pipeline().spec(),
+        }
+        assert len(specs) == 3  # worker count enters the plan-cache key
+
+
+class TestParallelPlanExecutor:
+    def test_matches_serial_within_float_bound(self, rng):
+        model, _ = mlcnn_pipeline().run(build_model("lenet5", seed=3))
+        x = rng.normal(size=(6, 3, 32, 32))
+        with no_grad():
+            want = model(Tensor(x)).data
+        ex = ParallelPlanExecutor(model, workers=WORKERS)
+        np.testing.assert_allclose(ex.run(x), want, atol=1e-12)
+
+    def test_small_batch_runs_serial(self, rng):
+        model, _ = mlcnn_pipeline().run(build_model("lenet5", seed=3))
+        x = rng.normal(size=(1, 3, 32, 32))
+        ex = ParallelPlanExecutor(model, workers=WORKERS)
+        with no_grad():
+            want = model(Tensor(x)).data
+        assert (ex.run(x) == want).all()
+
+    def test_parallel_compiled_plan_ships_serial_kernels(self):
+        # a plan compiled with ParallelizePass carries ParallelKernel
+        # bindings; the executor must unwrap them in the shipped blob
+        # (workers own whole-batch shards — nested pools would
+        # oversubscribe or wedge the host) without touching the
+        # caller's model
+        import pickle
+
+        model, _ = mlcnn_pipeline(parallel_workers=WORKERS).run(
+            build_model("lenet5", seed=3)
+        )
+        ex = ParallelPlanExecutor(model, workers=WORKERS)
+        shipped = [
+            mod.kernel
+            for _, mod in pickle.loads(ex._blob).named_modules()
+            if getattr(mod, "kernel", None) is not None
+        ]
+        assert shipped and not any(isinstance(k, ParallelKernel) for k in shipped)
+        kept = [
+            mod.kernel
+            for _, mod in model.named_modules()
+            if getattr(mod, "kernel", None) is not None
+        ]
+        assert kept and all(isinstance(k, ParallelKernel) for k in kept)
