@@ -159,6 +159,15 @@ def parallel_workload():
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
 def test_bench_parallel_fused_kernel(benchmark, parallel_workload, record_metric, workers):
     """The worker-pool engine's scaling curve over the fused kernel."""
+    if workers > available_workers():
+        # Oversubscribing a smaller host produces a point that is pure
+        # scheduler noise and pollutes the committed scaling curve —
+        # the regression gate additionally downgrades the whole curve
+        # to advisory when baseline and host core counts differ.
+        pytest.skip(
+            f"workers={workers} exceeds this host's {available_workers()} "
+            "available worker(s)"
+        )
     x, w, b, serial_rate, ref = parallel_workload
 
     def run():

@@ -12,11 +12,14 @@ everything the tracer instruments:
 
 and writes the unified timeline as a Chrome trace — open the file in
 ``chrome://tracing`` or https://ui.perfetto.dev — plus a top-N summary
-on stdout.
+on stdout.  ``--format jsonl`` writes the greppable JSONL event log
+instead, the input format ``python -m repro.experiments --diff-trace``
+and :func:`repro.obs.build_attribution` consume.
 
 Run::
 
     PYTHONPATH=src python examples/trace_run.py --model lenet5 --out trace.json
+    PYTHONPATH=src python examples/trace_run.py --format jsonl --out run.jsonl
 """
 
 import argparse
@@ -34,6 +37,12 @@ def main() -> None:
     parser.add_argument("--model", default="lenet5", help="zoo model name")
     parser.add_argument("--out", default="trace.json", help="Chrome trace output path")
     parser.add_argument("--bits", type=int, default=8, help="quantization bits (0 = off)")
+    parser.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="chrome trace-event JSON (default) or JSONL event log",
+    )
     args = parser.parse_args()
 
     tracer = obs.get_tracer()
@@ -59,8 +68,12 @@ def main() -> None:
           f"{result.cycles:.3g} cycles, {result.energy.total_j:.3g} J")
 
     tracer.disable()
-    n = obs.write_chrome_trace(args.out, tracer)
-    print(f"wrote {n} events to {args.out} (open in chrome://tracing)")
+    if args.format == "jsonl":
+        n = obs.write_jsonl(args.out, tracer)
+        print(f"wrote {n} events to {args.out} (JSONL; feed to --diff-trace)")
+    else:
+        n = obs.write_chrome_trace(args.out, tracer)
+        print(f"wrote {n} events to {args.out} (open in chrome://tracing)")
     print()
     print(obs.summary(tracer, top=10))
 

@@ -60,6 +60,10 @@ def _emit_layer_event(result: "LayerResult", config: AcceleratorConfig) -> None:
         energy_dram_j=e.dram_j,
         energy_buffer_j=e.buffer_j,
         energy_mac_j=e.mac_j,
+        # hardware shape, so attribution/forensics over a trace can
+        # tell a config change from a workload change
+        mac_slices=config.mac_slices,
+        frequency_hz=config.frequency_hz,
     )
 
 #: cycles to fill the 3-stage multiplier pipeline per tile pass

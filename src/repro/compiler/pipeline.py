@@ -239,6 +239,22 @@ class Pipeline:
                 rewrites=report.total_rewrites,
                 validated=validate,
             )
+            # Publish the compiled plan into the trace: which
+            # shape-class kernel each module was lowered to (and the
+            # parallel shard plan, when present).  Run forensics diffs
+            # these selections across traces, so "layer X got a
+            # different kernel" localizes without rerunning anything.
+            kernel_plan = ctx.state.get("kernel_plan")
+            if kernel_plan is not None:
+                tracer.event(
+                    "compile.plan",
+                    category="compiler",
+                    kernels=dict(kernel_plan.get("kernels") or {}),
+                    from_cache=kernel_plan.get("from_cache"),
+                    impl=kernel_plan.get("impl"),
+                    bits=kernel_plan.get("bits"),
+                    parallel=ctx.state.get("parallel_plan"),
+                )
         if validate and ctx.use_cache:
             PLAN_CACHE.add(cache_key)
         return model, report

@@ -432,7 +432,16 @@ atexit.register(shutdown_pools)
 
 
 def _absorb_shard_results(results: Sequence[Dict[str, Any]], label: str) -> None:
-    """Merge worker counters + re-emit per-shard spans in the parent."""
+    """Merge worker counters + re-emit per-shard spans in the parent.
+
+    Each worker measured its shard's wall time and counters locally;
+    here they become first-class children of the enclosing
+    ``parallel.*`` span — real spans (via :meth:`Tracer.record_span`),
+    not just instant markers, so the attribution engine's coverage
+    metric sees sharded work exactly like in-process work, and the
+    worker's measured counters ride along as span attrs for the
+    roofline join.
+    """
     from repro.obs.metrics import OpCounters, get_recorder
     from repro.obs.tracer import get_tracer
 
@@ -443,14 +452,21 @@ def _absorb_shard_results(results: Sequence[Dict[str, Any]], label: str) -> None
         if recorder.enabled and counts:
             recorder.record(**OpCounters.from_dict(counts).as_dict(include_derived=False))
         shard: Shard = res["shard"]
-        tracer.event(
+        attrs: Dict[str, Any] = {
+            "axis": shard.axis,
+            "start": shard.start,
+            "stop": shard.stop,
+            "wall_time_s": res["wall_time_s"],
+            "pid": res["pid"],
+        }
+        nonzero = {k: v for k, v in counts.items() if v}
+        if nonzero:
+            attrs["counters"] = nonzero
+        tracer.record_span(
             f"parallel.shard.{label}",
+            dur_us=res["wall_time_s"] * 1e6,
             category="parallel",
-            axis=shard.axis,
-            start=shard.start,
-            stop=shard.stop,
-            wall_time_s=res["wall_time_s"],
-            pid=res["pid"],
+            **attrs,
         )
 
 

@@ -25,6 +25,22 @@ against the committed ``BENCH_<area>.json`` baselines and exits
 non-zero on regression; ``--bench-update`` intentionally refreshes the
 baselines, and ``--bench-dashboard`` renders the trend dashboard.
 
+``--attrib [MODEL ...]`` (default: lenet5 vgg16) runs the roofline
+attribution engine (:mod:`repro.obs.attrib`): compile + instrumented
+forward + accelerator simulation under the tracer, joined with measured
+op counters against this host's calibrated roofline
+(:mod:`repro.obs.roofline`), printed as a per-layer/per-kernel table
+with span-coverage accounting.  ``--attrib-report PATH`` writes the
+rows as JSONL; ``--workers N`` routes the forward through the parallel
+plan executor so shard merge-back is part of the measurement.
+
+``--diff-trace A.jsonl B.jsonl`` is cross-run forensics
+(:mod:`repro.obs.forensics`): attribute both traces and print the
+ranked "what changed" report — per-span wall deltas, kernel selection
+changes, ops/bytes drift.  ``--diff-bench metrics.jsonl`` ranks a
+working tree's fresh benchmark metrics against the committed
+``BENCH_<area>.json`` baselines.  Both honour ``--bench-dashboard``.
+
 ``--numerics [MODEL ...]`` (default: lenet5 vgg16) compiles each model
 through the MLCNN pipeline with the reorder-divergence probe, runs an
 instrumented forward+backward on the probe batch, and prints the
@@ -112,7 +128,7 @@ def _trace_model_extras(model_name: str, model, ctx) -> None:
     """
     from repro.nn.tensor import Tensor, no_grad
 
-    obs.instrument_model(model, prefix=model_name)
+    obs.instrument_model(model, prefix=model_name, counters=True)
     model.eval()
     with no_grad():
         model(Tensor(ctx.probe_batch()))
@@ -201,6 +217,43 @@ def main(argv=None) -> int:
         "(JSON, or JSONL for .jsonl paths)",
     )
     parser.add_argument(
+        "--attrib",
+        nargs="*",
+        metavar="MODEL",
+        default=None,
+        help="print the roofline attribution table for the given zoo "
+        "models (default: lenet5 vgg16) and exit; honours --bits and "
+        "--workers",
+    )
+    parser.add_argument(
+        "--attrib-report",
+        metavar="PATH",
+        default=None,
+        help="with --attrib: also write the attribution rows as JSONL",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="with --attrib: run the forward through the parallel plan "
+        "executor with N workers (default 1)",
+    )
+    parser.add_argument(
+        "--diff-trace",
+        nargs=2,
+        metavar=("A", "B"),
+        default=None,
+        help="cross-run forensics: attribute two JSONL traces and print "
+        "the ranked what-changed report (B relative to A)",
+    )
+    parser.add_argument(
+        "--diff-bench",
+        metavar="JSONL",
+        default=None,
+        help="rank a fresh --metrics-jsonl run against the committed "
+        "BENCH_<area>.json baselines (forensic ordering, not a gate)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -251,6 +304,12 @@ def main(argv=None) -> int:
         return 0
     if args.bits < 0:
         parser.error(f"--bits must be >= 0, got {args.bits}")
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.diff_trace is not None or args.diff_bench is not None:
+        return _run_diff(args)
+    if args.attrib is not None:
+        return _run_attrib(args)
     if args.bench_compare is not None or args.bench_dashboard is not None:
         return _bench_compare(args)
 
@@ -373,6 +432,85 @@ def _run_numerics(args) -> int:
                 json.dump({"bits": bits, "models": combined}, fh, indent=2)
                 fh.write("\n")
         print(f"numerics report -> {path}")
+    return 0
+
+
+def _run_attrib(args) -> int:
+    """One-command roofline attribution (the tentpole CLI surface).
+
+    For each model: compile + counter-instrumented forward +
+    accelerator simulation under the tracer, joined against the
+    host-calibrated roofline, printed as the attribution table.
+    """
+    from repro.models import MODEL_REGISTRY
+    from repro.obs.attrib import attribute_model_run
+    from repro.obs.roofline import get_roofline
+
+    models = args.attrib or ["lenet5", "vgg16"]
+    unknown = [m for m in models if m not in MODEL_REGISTRY]
+    if unknown:
+        print(
+            f"unknown model(s) {unknown}; available: {sorted(MODEL_REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    roofline = get_roofline()
+    last = None
+    for name in models:
+        report = attribute_model_run(
+            name, bits=args.bits, workers=args.workers, roofline=roofline
+        )
+        print(f"\n-- {name} --")
+        print(report.render())
+        last = report
+        if args.attrib_report:
+            path = args.attrib_report
+            if len(models) > 1:
+                stem, dot, ext = path.rpartition(".")
+                path = f"{stem}.{name}.{ext}" if dot else f"{path}.{name}"
+            n = report.write_jsonl(path)
+            print(f"attribution report: {n} row(s) -> {path}")
+    if args.bench_dashboard and last is not None:
+        from repro.obs.dashboard import write_dashboard
+        from repro.obs.metrics import MetricRegistry
+
+        path = write_dashboard(
+            args.bench_dashboard,
+            MetricRegistry(args.bench_root),
+            attribution=last.as_dict(),
+        )
+        print(f"dashboard -> {path}")
+    return 0
+
+
+def _run_diff(args) -> int:
+    """Cross-run forensics: trace diff and/or bench-vs-baseline diff."""
+    from repro.obs.forensics import diff_bench, diff_runs
+
+    run_diff = None
+    if args.diff_trace is not None:
+        a, b = args.diff_trace
+        run_diff = diff_runs(a, b)
+        print(run_diff.render())
+        culprit = run_diff.culprit
+        if culprit is not None and abs(culprit.delta_us) > 0:
+            print(
+                f"top change: {culprit.name} "
+                f"({culprit.delta_us / 1e3:+.3f} ms"
+                + (f"; {'; '.join(culprit.notes)}" if culprit.notes else "")
+                + ")"
+            )
+    if args.diff_bench is not None:
+        bench = diff_bench(args.diff_bench, root=args.bench_root)
+        print(bench.render())
+    if args.bench_dashboard and run_diff is not None:
+        from repro.obs.dashboard import write_dashboard
+        from repro.obs.metrics import MetricRegistry
+
+        path = write_dashboard(
+            args.bench_dashboard, MetricRegistry(args.bench_root), run_diff=run_diff
+        )
+        print(f"dashboard -> {path}")
     return 0
 
 

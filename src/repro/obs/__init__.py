@@ -18,9 +18,27 @@ or from the CLI::
 
     python -m repro.experiments --pipeline lenet5 --trace out.json \\
         --trace-format chrome
+
+On top of collection sits the analysis layer: the roofline attribution
+engine (:func:`build_attribution` / :func:`attribute_model_run` — join
+spans with measured op counters against this host's calibrated
+roofline) and cross-run forensics (:func:`diff_runs` /
+:func:`diff_bench` — ranked "what changed" reports localizing a
+regression to a layer, pass, kernel or shard)::
+
+    python -m repro.experiments --attrib lenet5
+    python -m repro.experiments --diff-trace before.jsonl after.jsonl
+    python -m repro.experiments --diff-bench metrics.jsonl
 """
 
+from repro.obs.attrib import (
+    AttributionReport,
+    attribute_model_run,
+    build_attribution,
+)
 from repro.obs.dashboard import write_dashboard
+from repro.obs.forensics import BenchDiff, RunDiff, diff_bench, diff_runs
+from repro.obs.roofline import Roofline, calibrate, get_roofline
 from repro.obs.export import (
     summary,
     summary_report,
@@ -65,12 +83,16 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "AttributionReport",
+    "BenchDiff",
     "MetricRegistry",
     "NumericsCollector",
     "NumericsError",
     "OpCounters",
     "P2Quantile",
     "RegressionReport",
+    "Roofline",
+    "RunDiff",
     "RunRecord",
     "SpanEvent",
     "TensorStats",
@@ -79,12 +101,18 @@ __all__ = [
     "Verdict",
     "Welford",
     "add",
+    "attribute_model_run",
+    "build_attribution",
+    "calibrate",
     "collect_counters",
     "deinstrument_model",
+    "diff_bench",
+    "diff_runs",
     "event",
     "gate_jsonl",
     "gate_metrics",
     "get_recorder",
+    "get_roofline",
     "get_tracer",
     "instrument_model",
     "observe",

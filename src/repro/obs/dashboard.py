@@ -204,6 +204,87 @@ def _numerics_section(report: Mapping) -> _Section:
     )
 
 
+def _attribution_section(attribution: Mapping) -> _Section:
+    """Attribution / roofline: the joined per-row table + coverage.
+
+    ``attribution`` is an
+    :meth:`~repro.obs.attrib.AttributionReport.as_dict` document.
+    """
+    rows: List[List[str]] = []
+
+    def fmt(row: Mapping, key: str, scale: float, digits: int = 2) -> str:
+        value = row.get(key)
+        return "-" if value is None else f"{value / scale:.{digits}f}"
+
+    for row in (attribution.get("rows") or [])[:25]:
+        frac = row.get("attained_fraction")
+        rows.append(
+            [
+                str(row.get("name")),
+                str(row.get("kind")),
+                fmt(row, "wall_us", 1e3, 3),
+                fmt(row, "ops", 1e6),
+                fmt(row, "bytes_moved", 1e6),
+                fmt(row, "intensity", 1.0),
+                "-" if frac is None else f"{100 * frac:.1f}%",
+                str(row.get("bound") or "-"),
+            ]
+        )
+    coverage = float(attribution.get("span_coverage") or 0.0)
+    notes = [
+        f"span coverage {100 * coverage:.1f}% "
+        f"({(attribution.get('total_us') or 0.0) / 1e3:.3f} ms total, "
+        f"{(attribution.get('unexplained_us') or 0.0) / 1e3:.3f} ms unexplained)"
+    ]
+    roof = attribution.get("roofline")
+    if roof:
+        notes.append(
+            f"host roofline: peak {roof['peak_flops'] / 1e9:.2f} GFLOP/s, "
+            f"stream {roof['stream_bandwidth'] / 1e9:.2f} GB/s, "
+            f"ridge {roof['ridge_intensity']:.2f} FLOP/B"
+        )
+    plan = attribution.get("kernel_plan") or {}
+    if plan:
+        notes.append(
+            "kernel plan: "
+            + ", ".join(f"{k}→{v}" for k, v in sorted(plan.items()))
+        )
+    return _Section(
+        "Attribution / Roofline",
+        ["row", "kind", "wall ms", "MFLOPs", "MB", "FLOP/B", "%roof", "bound"],
+        rows,
+        notes,
+    )
+
+
+def _run_diff_section(run_diff) -> _Section:
+    """Run diff: ranked per-span wall-time changes (a ``RunDiff``)."""
+    rows: List[List[str]] = []
+    for e in run_diff.top(20):
+        rel = "-" if e.delta_rel is None else f"{100 * e.delta_rel:+.1f}%"
+        rows.append(
+            [
+                e.name,
+                e.kind,
+                f"{e.wall_a_us / 1e3:.3f}",
+                f"{e.wall_b_us / 1e3:.3f}",
+                f"{e.delta_us / 1e3:+.3f}",
+                rel,
+                "; ".join(e.notes) or "-",
+            ]
+        )
+    return _Section(
+        "Run diff",
+        ["row", "kind", "A ms", "B ms", "delta ms", "delta %", "notes"],
+        rows,
+        [
+            f"total {run_diff.total_a_us / 1e3:.3f} ms → "
+            f"{run_diff.total_b_us / 1e3:.3f} ms "
+            f"({run_diff.total_delta_us / 1e3:+.3f} ms), ranked by |delta|"
+        ],
+    )
+
+
 def _counters_section(counters: OpCounters) -> _Section:
     rows = [[name, f"{value:.6g}"] for name, value in counters.as_dict().items() if value]
     denom = counters.mults + counters.mults_eliminated
@@ -224,12 +305,17 @@ def build_dashboard(
     counters: Optional[OpCounters] = None,
     gate_report=None,
     numerics: Optional[Mapping] = None,
+    attribution: Optional[Mapping] = None,
+    run_diff=None,
 ) -> List[_Section]:
     """Assemble dashboard sections (shared by both output formats).
 
     ``numerics`` is a :meth:`NumericsCollector.report()
-    <repro.obs.numerics.NumericsCollector.report>` document; when given
-    it renders as a "Numerics health" section.
+    <repro.obs.numerics.NumericsCollector.report>` document;
+    ``attribution`` an
+    :meth:`~repro.obs.attrib.AttributionReport.as_dict` document;
+    ``run_diff`` a :class:`~repro.obs.forensics.RunDiff`.  Each renders
+    as its own section when given.
     """
     sections: List[_Section] = []
     areas = sorted(set(registry.areas()) | set(current or {}))
@@ -240,6 +326,10 @@ def build_dashboard(
         sections.append(parallel)
     if numerics is not None:
         sections.append(_numerics_section(numerics))
+    if attribution is not None:
+        sections.append(_attribution_section(attribution))
+    if run_diff is not None:
+        sections.append(_run_diff_section(run_diff))
     if gate_report is not None:
         order = {"regressed": 0, "invalid": 1, "improved": 2, "ok": 3,
                  "missing_baseline": 4, "missing_current": 5}
@@ -251,6 +341,7 @@ def build_dashboard(
                 "-" if v.baseline is None else f"{v.baseline:.6g}",
                 "-" if v.current is None else f"{v.current:.6g}",
                 v.policy.direction,
+                getattr(v, "note", "") or "-",
             ]
             for v in sorted(gate_report.verdicts, key=lambda v: (order[v.status], v.area, v.metric))
         ]
@@ -258,7 +349,7 @@ def build_dashboard(
         sections.append(
             _Section(
                 "Regression gate",
-                ["status", "area", "metric", "baseline", "current", "better"],
+                ["status", "area", "metric", "baseline", "current", "better", "note"],
                 rows,
                 [f"gate verdict: {verdict}"],
             )
@@ -332,9 +423,13 @@ def write_dashboard(
     counters: Optional[OpCounters] = None,
     gate_report=None,
     numerics: Optional[Mapping] = None,
+    attribution: Optional[Mapping] = None,
+    run_diff=None,
 ) -> str:
     """Write the dashboard to ``path`` (HTML iff the extension says so)."""
-    sections = build_dashboard(registry, current, counters, gate_report, numerics)
+    sections = build_dashboard(
+        registry, current, counters, gate_report, numerics, attribution, run_diff
+    )
     text = (
         render_html(sections)
         if path.endswith((".html", ".htm"))

@@ -1,0 +1,304 @@
+"""Cross-run regression forensics: *what changed, and where*.
+
+Two entry points, one output shape — a ranked "what changed" report:
+
+* :func:`diff_runs` — compare two traces (live tracers, JSONL trace
+  files, or pre-built :class:`~repro.obs.attrib.AttributionReport`\\ s).
+  Every span identity (layer, compiler pass, kernel shape-class,
+  worker shard, simulated layer) becomes one diff entry with its wall
+  time delta; entries are ranked by absolute delta so the top entry
+  *is* the localized regression.  Kernel selection changes (a layer
+  lowered to a different shape-class kernel) and ops/bytes drift are
+  annotated on the entry — the usual root causes travel with the
+  ranking.
+* :func:`diff_bench` — compare a working tree's fresh benchmark
+  metrics (a ``--metrics-jsonl`` file) against the committed
+  ``BENCH_*.json`` baseline registry, ranked by relative delta.  This
+  is the "is my branch slower, and on which metric" view; the
+  regression *gate* (:mod:`repro.obs.regress`) stays the pass/fail
+  authority, this is the forensic ordering.
+
+Both renders are plain text tables (CI-log friendly) via the standard
+:class:`~repro.analysis.report.ExperimentReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.obs.attrib import AttributionReport, build_attribution
+from repro.obs.tracer import Tracer
+
+__all__ = ["DiffEntry", "RunDiff", "diff_runs", "BenchDiffEntry", "BenchDiff", "diff_bench"]
+
+
+@dataclass
+class DiffEntry:
+    """One span identity's change between run A and run B."""
+
+    name: str
+    kind: str
+    wall_a_us: float
+    wall_b_us: float
+    count_a: int = 0
+    count_b: int = 0
+    #: annotations: kernel selection changes, ops/bytes drift, add/remove
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def delta_us(self) -> float:
+        return self.wall_b_us - self.wall_a_us
+
+    @property
+    def delta_rel(self) -> Optional[float]:
+        if self.wall_a_us <= 0:
+            return None
+        return self.delta_us / self.wall_a_us
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "wall_a_us": self.wall_a_us,
+            "wall_b_us": self.wall_b_us,
+            "delta_us": self.delta_us,
+            "delta_rel": self.delta_rel,
+            "count_a": self.count_a,
+            "count_b": self.count_b,
+            "notes": list(self.notes),
+        }
+
+
+@dataclass
+class RunDiff:
+    """Ranked span-level diff of two runs (B relative to A)."""
+
+    entries: List[DiffEntry] = field(default_factory=list)
+    total_a_us: float = 0.0
+    total_b_us: float = 0.0
+    coverage_a: float = 0.0
+    coverage_b: float = 0.0
+
+    @property
+    def total_delta_us(self) -> float:
+        return self.total_b_us - self.total_a_us
+
+    def top(self, n: int = 10) -> List[DiffEntry]:
+        return self.entries[:n]
+
+    @property
+    def culprit(self) -> Optional[DiffEntry]:
+        """The top-ranked entry — the localized change, if any."""
+        return self.entries[0] if self.entries else None
+
+    def to_experiment_report(self, top: int = 15):
+        from repro.analysis.report import ExperimentReport
+
+        rep = ExperimentReport(
+            "Run diff",
+            "per-span wall time change, B vs A, ranked by |delta|",
+            headers=["row", "kind", "A ms", "B ms", "delta ms", "delta %", "notes"],
+        )
+        for e in self.entries[:top]:
+            rel = "-" if e.delta_rel is None else f"{100 * e.delta_rel:+.1f}"
+            rep.add_row(
+                e.name,
+                e.kind,
+                f"{e.wall_a_us / 1e3:.3f}",
+                f"{e.wall_b_us / 1e3:.3f}",
+                f"{e.delta_us / 1e3:+.3f}",
+                rel,
+                "; ".join(e.notes) or "-",
+            )
+        rep.add_note(
+            f"total {self.total_a_us / 1e3:.3f} ms -> {self.total_b_us / 1e3:.3f} ms "
+            f"({self.total_delta_us / 1e3:+.3f} ms); "
+            f"span coverage A {100 * self.coverage_a:.1f}% / B {100 * self.coverage_b:.1f}%"
+        )
+        return rep
+
+    def render(self, top: int = 15) -> str:
+        return self.to_experiment_report(top=top).render()
+
+
+def _as_report(run: Union[AttributionReport, Tracer, str]) -> AttributionReport:
+    if isinstance(run, AttributionReport):
+        return run
+    return build_attribution(run)
+
+
+def diff_runs(
+    a: Union[AttributionReport, Tracer, str],
+    b: Union[AttributionReport, Tracer, str],
+    min_delta_us: float = 0.0,
+) -> RunDiff:
+    """Rank every span identity by how much its wall time moved A→B.
+
+    ``a`` and ``b`` may each be a live tracer, a JSONL trace path, or a
+    pre-built attribution report.  Rows present in only one run are
+    kept (noted ``added``/``removed``) — a span that vanishes is
+    exactly the kind of change forensics must surface.
+    """
+    ra, rb = _as_report(a), _as_report(b)
+    rows_a = {r.name: r for r in ra.rows}
+    rows_b = {r.name: r for r in rb.rows}
+    entries: List[DiffEntry] = []
+    for name in sorted(set(rows_a) | set(rows_b)):
+        row_a, row_b = rows_a.get(name), rows_b.get(name)
+        any_row = row_b or row_a
+        entry = DiffEntry(
+            name=name,
+            kind=any_row.kind,
+            wall_a_us=row_a.wall_us if row_a else 0.0,
+            wall_b_us=row_b.wall_us if row_b else 0.0,
+            count_a=row_a.count if row_a else 0,
+            count_b=row_b.count if row_b else 0,
+        )
+        if row_a is None:
+            entry.notes.append("added in B")
+        elif row_b is None:
+            entry.notes.append("removed in B")
+        else:
+            if row_a.kernel != row_b.kernel and (row_a.kernel or row_b.kernel):
+                entry.notes.append(
+                    f"kernel {row_a.kernel or 'none'} -> {row_b.kernel or 'none'}"
+                )
+            for label, va, vb in (
+                ("ops", row_a.ops, row_b.ops),
+                ("bytes", row_a.bytes_moved, row_b.bytes_moved),
+            ):
+                if va and vb and abs(vb - va) > 0.01 * va:
+                    entry.notes.append(f"{label} x{vb / va:.2f}")
+            if row_a.count != row_b.count:
+                entry.notes.append(f"count {row_a.count} -> {row_b.count}")
+        if abs(entry.delta_us) >= min_delta_us or entry.notes:
+            entries.append(entry)
+    # Compiled kernel-plan changes (from ``compile.plan`` events) cover
+    # modules the instrumented spans may not — annotate the matching
+    # span entry, or surface a zero-wall entry so the change is never
+    # silent.
+    for path in sorted(set(ra.kernel_plan) | set(rb.kernel_plan)):
+        ka, kb = ra.kernel_plan.get(path), rb.kernel_plan.get(path)
+        if ka == kb:
+            continue
+        note = f"plan kernel {ka or 'none'} -> {kb or 'none'}"
+        target = next((e for e in entries if path in e.name), None)
+        if target is not None:
+            if not any(n.startswith("kernel") or n.startswith("plan kernel") for n in target.notes):
+                target.notes.append(note)
+        else:
+            entries.append(
+                DiffEntry(name=f"plan.{path}", kind="pass", wall_a_us=0.0,
+                          wall_b_us=0.0, notes=[note])
+            )
+    entries.sort(key=lambda e: (-abs(e.delta_us), e.name))
+    return RunDiff(
+        entries=entries,
+        total_a_us=ra.total_us,
+        total_b_us=rb.total_us,
+        coverage_a=ra.span_coverage,
+        coverage_b=rb.span_coverage,
+    )
+
+
+@dataclass
+class BenchDiffEntry:
+    """One benchmark metric's change vs its committed baseline."""
+
+    key: str
+    area: str
+    baseline: float
+    current: float
+
+    @property
+    def delta(self) -> float:
+        return self.current - self.baseline
+
+    @property
+    def delta_rel(self) -> Optional[float]:
+        if self.baseline == 0:
+            return None
+        return self.delta / abs(self.baseline)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "area": self.area,
+            "baseline": self.baseline,
+            "current": self.current,
+            "delta": self.delta,
+            "delta_rel": self.delta_rel,
+        }
+
+
+@dataclass
+class BenchDiff:
+    """Ranked metric diff of a working tree vs the baseline registry."""
+
+    entries: List[BenchDiffEntry] = field(default_factory=list)
+    missing_baseline: List[str] = field(default_factory=list)
+    missing_current: List[str] = field(default_factory=list)
+
+    def to_experiment_report(self, top: int = 20):
+        from repro.analysis.report import ExperimentReport
+
+        rep = ExperimentReport(
+            "Bench diff",
+            "working-tree metrics vs committed BENCH_* baselines, ranked by |delta %|",
+            headers=["metric", "area", "baseline", "current", "delta %"],
+        )
+        for e in self.entries[:top]:
+            rel = "-" if e.delta_rel is None else f"{100 * e.delta_rel:+.2f}"
+            rep.add_row(e.key, e.area, f"{e.baseline:.6g}", f"{e.current:.6g}", rel)
+        if self.missing_baseline:
+            rep.add_note(
+                f"{len(self.missing_baseline)} metric(s) with no baseline: "
+                + ", ".join(self.missing_baseline[:8])
+            )
+        if self.missing_current:
+            rep.add_note(
+                f"{len(self.missing_current)} baseline metric(s) not re-measured: "
+                + ", ".join(self.missing_current[:8])
+            )
+        return rep
+
+    def render(self, top: int = 20) -> str:
+        return self.to_experiment_report(top=top).render()
+
+
+def diff_bench(metrics_jsonl: str, root: str = ".") -> BenchDiff:
+    """Diff freshly measured metrics against the committed baselines.
+
+    ``metrics_jsonl`` is a benchmark run's ``--metrics-jsonl`` output
+    from the working tree; baselines come from the ``BENCH_<area>.json``
+    registry under ``root``.  Unlike the gate, every overlapping metric
+    is reported, ranked by relative movement.
+    """
+    from repro.obs.metrics import MetricRegistry, load_metrics_jsonl
+
+    registry = MetricRegistry(root)
+    current = load_metrics_jsonl(metrics_jsonl)
+
+    diff = BenchDiff()
+    seen_baseline_keys: set = set()
+    areas = sorted(set(current) | set(registry.areas()))
+    for area in areas:
+        baseline = registry.baseline(area) or {}
+        for key, value in (current.get(area) or {}).items():
+            if key in baseline:
+                seen_baseline_keys.add((area, key))
+                diff.entries.append(
+                    BenchDiffEntry(
+                        key=key, area=area, baseline=float(baseline[key]), current=value
+                    )
+                )
+            else:
+                diff.missing_baseline.append(key)
+        for key in baseline:
+            if (area, key) not in seen_baseline_keys:
+                diff.missing_current.append(key)
+    diff.entries.sort(
+        key=lambda e: (-(abs(e.delta_rel) if e.delta_rel is not None else float("inf")), e.key)
+    )
+    return diff

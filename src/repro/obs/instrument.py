@@ -18,6 +18,17 @@ wrappers: each leaf's forward output and backward gradient are folded
 into streaming per-layer statistics, and quantized paths executing
 inside a layer's forward get attributed to it.
 
+Passing ``counters=True`` arms the attribution join
+(:mod:`repro.obs.attrib`): while the tracer is enabled, each *leaf*
+forward runs under :func:`repro.obs.metrics.collect_counters` and the
+measured :class:`~repro.obs.metrics.OpCounters` (non-zero fields only)
+are attached to the span as a ``counters`` attr, alongside a
+``bytes_io`` estimate (input + parameter + output array bytes — the
+compulsory-traffic lower bound) and, for plain Conv2d/Linear layers
+that record no counters, an analytic ``flops`` count.  Kernel-lowered
+modules also report which shape-class kernel executed (``kernel``
+attr), so a trace localizes regressions to kernel selections.
+
 The wrappers check ``tracer.enabled`` (and ``numerics.enabled``) first
 and delegate straight to the original ``forward`` when both are off,
 keeping an instrumented model usable on the hot path;
@@ -28,7 +39,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.nn.layers import Module
+import numpy as np
+
+from repro.nn.layers import Conv2d, Linear, Module
 from repro.nn.tensor import Tensor
 from repro.obs.numerics import NumericsCollector
 from repro.obs.tracer import Tracer, get_tracer
@@ -37,6 +50,33 @@ __all__ = ["instrument_model", "deinstrument_model"]
 
 #: attribute stashing the original forward on instrumented modules
 _ORIG_ATTR = "_obs_orig_forward"
+
+
+def _tensor_nbytes(value) -> int:
+    if isinstance(value, Tensor):
+        return int(value.data.nbytes)
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    return 0
+
+
+def _analytic_flops(mod: Module, out) -> Optional[float]:
+    """Closed-form FLOPs (mult + add) for plain dense layers.
+
+    Covers the layers whose execution records no measured counters;
+    counted paths (fused kernels, the simulator) take precedence in
+    the attribution join.
+    """
+    if not isinstance(out, Tensor):
+        return None
+    if isinstance(mod, Conv2d):
+        n, m, ho, wo = out.shape
+        kh, kw = mod.kernel_size
+        return 2.0 * n * m * ho * wo * mod.in_channels * kh * kw
+    if isinstance(mod, Linear):
+        batch = out.shape[0] if out.ndim else 1
+        return 2.0 * batch * mod.in_features * mod.out_features
+    return None
 
 
 def _wrap_backward(
@@ -57,7 +97,11 @@ def _wrap_backward(
 
 
 def _wrap_forward(
-    mod: Module, label: str, tracer: Tracer, numerics: Optional[NumericsCollector]
+    mod: Module,
+    label: str,
+    tracer: Tracer,
+    numerics: Optional[NumericsCollector],
+    counters: bool,
 ) -> None:
     orig = mod.forward
     # Modules that inline their children's computation (e.g.
@@ -65,6 +109,7 @@ def _wrap_forward(
     # inside them, so they are the observation point themselves.
     is_leaf = not mod._modules or getattr(mod, "_numerics_leaf", False)
     cls_name = type(mod).__name__
+    param_bytes = sum(int(p.data.nbytes) for p in mod.parameters()) if is_leaf else 0
 
     def traced_forward(*args, **kwargs):
         watch = numerics is not None and numerics.enabled
@@ -74,8 +119,32 @@ def _wrap_forward(
             numerics._push_layer(label)
         try:
             if tracer.enabled:
-                with tracer.span(label + ".forward", category="nn", cls=cls_name):
-                    out = orig(*args, **kwargs)
+                with tracer.span(label + ".forward", category="nn", cls=cls_name) as sp:
+                    if counters and is_leaf:
+                        from repro.obs.metrics import collect_counters
+
+                        with collect_counters() as oc:
+                            out = orig(*args, **kwargs)
+                        nonzero = {
+                            k: v
+                            for k, v in oc.as_dict(include_derived=False).items()
+                            if v
+                        }
+                        if nonzero:
+                            sp.set(counters=nonzero)
+                        else:
+                            flops = _analytic_flops(mod, out)
+                            if flops is not None:
+                                sp.set(flops=flops)
+                        in_bytes = sum(_tensor_nbytes(a) for a in args)
+                        sp.set(
+                            bytes_io=in_bytes + param_bytes + _tensor_nbytes(out)
+                        )
+                        kern = getattr(mod, "kernel", None)
+                        if kern is not None:
+                            sp.set(kernel=getattr(kern, "name", str(kern)))
+                    else:
+                        out = orig(*args, **kwargs)
             else:
                 out = orig(*args, **kwargs)
         finally:
@@ -97,6 +166,7 @@ def instrument_model(
     tracer: Optional[Tracer] = None,
     prefix: str = "",
     numerics: Optional[NumericsCollector] = None,
+    counters: bool = False,
 ) -> Module:
     """Attach forward/backward spans to every module of ``model``.
 
@@ -105,16 +175,20 @@ def instrument_model(
     module's span is ``prefix`` itself, or the lowercased class name
     when no prefix is given.  When ``numerics`` is given, leaf forward
     outputs and backward gradients additionally feed its streaming
-    per-layer statistics whenever the collector is enabled.  Idempotent:
+    per-layer statistics whenever the collector is enabled.  When
+    ``counters=True``, leaf spans carry measured
+    :class:`~repro.obs.metrics.OpCounters`, a ``bytes_io`` traffic
+    estimate and the executing kernel name while the tracer is enabled
+    — the inputs of the attribution/roofline join.  Idempotent:
     already-instrumented modules are left alone (so pass ``numerics``
-    at first instrumentation).  Returns ``model``.
+    and ``counters`` at first instrumentation).  Returns ``model``.
     """
     tracer = tracer or get_tracer()
     for name, mod in model.named_modules():
         if getattr(mod, _ORIG_ATTR, None) is not None:
             continue
         label = ".".join(p for p in (prefix, name) if p) or type(mod).__name__.lower()
-        _wrap_forward(mod, label, tracer, numerics)
+        _wrap_forward(mod, label, tracer, numerics, counters)
     return model
 
 

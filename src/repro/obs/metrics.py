@@ -213,7 +213,15 @@ def collect_counters() -> Iterator[OpCounters]:
 # ---------------------------------------------------------------------------
 
 #: metadata keys stamped on rows/records; excluded from metric identity
-PROVENANCE_FIELDS = ("git_sha", "timestamp", "host", "user", "python")
+PROVENANCE_FIELDS = (
+    "git_sha",
+    "timestamp",
+    "host",
+    "user",
+    "python",
+    "cpu_count",
+    "machine",
+)
 
 
 def _git_sha() -> str:
@@ -231,7 +239,13 @@ def _git_sha() -> str:
 
 
 def provenance() -> Dict[str, str]:
-    """Stamp for one run: git SHA, UTC timestamp, host, user, python."""
+    """Stamp for one run: git SHA, UTC timestamp, host identity, python.
+
+    ``cpu_count`` and ``machine`` make baselines host-shape-aware: the
+    regression gate downgrades host-sensitive metrics (parallel scaling
+    curves) to advisory when the current core count differs from the
+    baseline's, instead of failing the build on hardware variance.
+    """
     try:
         user = getpass.getuser()
     except (KeyError, OSError):  # no passwd entry in some containers
@@ -242,6 +256,8 @@ def provenance() -> Dict[str, str]:
         "host": socket.gethostname(),
         "user": user,
         "python": platform.python_version(),
+        "cpu_count": str(os.cpu_count() or 1),
+        "machine": platform.machine(),
     }
 
 

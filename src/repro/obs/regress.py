@@ -26,7 +26,7 @@ metrics.jsonl`` — exits non-zero iff :attr:`RegressionReport.failed`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.obs.metrics import MetricRegistry, load_metrics_jsonl
@@ -39,7 +39,9 @@ __all__ = [
     "compare_metrics",
     "gate_metrics",
     "gate_jsonl",
+    "host_mismatch",
     "POLICY_OVERRIDES",
+    "HOST_SENSITIVE_PREFIXES",
 ]
 
 
@@ -81,7 +83,58 @@ POLICY_OVERRIDES: Dict[str, TolerancePolicy] = {
         direction="higher", rel_tol=0.75, abs_tol=0.05, required=False
     ),
     "numerics.": TolerancePolicy(direction="lower", rel_tol=0.25, abs_tol=1e-6),
+    # Span coverage is the attribution engine's self-check: the
+    # fraction of measured wall time explained by instrumented spans.
+    # It is deterministic tooling behaviour, not host speed — a drop
+    # means instrumentation coverage was lost (e.g. worker shard
+    # merge-back broke), which fails the gate.
+    "attrib.span_coverage": TolerancePolicy(
+        direction="higher", rel_tol=0.05, abs_tol=0.02
+    ),
+    "attrib.unexplained_fraction": TolerancePolicy(
+        direction="lower", rel_tol=0.50, abs_tol=0.02, required=False
+    ),
+    # Attained-roofline fractions depend on the host's measured roofs:
+    # advisory trend lines, never gate failures.
+    "roofline.": TolerancePolicy(
+        direction="higher", rel_tol=0.90, abs_tol=0.02, required=False
+    ),
 }
+
+#: metric-key prefixes whose values are a property of the machine shape
+#: (core count) rather than the code.  When the baseline was recorded
+#: on a host with a different ``cpu_count``, the gate auto-downgrades
+#: these to advisory — comparing a 2-core scaling curve against a
+#: 16-core baseline measures the hardware, not the change under test.
+HOST_SENSITIVE_PREFIXES = (
+    "kernel.parallel_samples_per_sec",
+    "kernel.parallel_scaling_efficiency",
+    "roofline.",
+)
+
+
+def host_mismatch(
+    baseline_provenance: Optional[Mapping[str, str]],
+    current_provenance: Optional[Mapping[str, str]] = None,
+) -> Optional[str]:
+    """Why host-sensitive metrics should be advisory, or None if same.
+
+    A baseline without ``cpu_count`` provenance (recorded before the
+    field existed) is treated as mismatched: its host shape is unknown,
+    so host-sensitive comparisons against it cannot be trusted to fail
+    a build.
+    """
+    if current_provenance is None:
+        from repro.obs.metrics import provenance
+
+        current_provenance = provenance()
+    base_cpu = (baseline_provenance or {}).get("cpu_count")
+    cur_cpu = current_provenance.get("cpu_count")
+    if base_cpu is None:
+        return "baseline records no cpu_count"
+    if str(base_cpu) != str(cur_cpu):
+        return f"baseline cpu_count={base_cpu}, host cpu_count={cur_cpu}"
+    return None
 
 #: metric-name keywords implying lower-is-better when no policy matches
 _LOWER_IS_BETTER = (
@@ -137,6 +190,8 @@ class Verdict:
     current: Optional[float]
     policy: TolerancePolicy
     status: str  # improved | ok | regressed | invalid | missing_baseline | missing_current
+    #: explanatory annotation (e.g. the host-mismatch downgrade reason)
+    note: str = ""
 
     @property
     def fails(self) -> bool:
@@ -238,10 +293,12 @@ class RegressionReport:
                     fmt(v.current),
                     "-" if d is None else f"{100 * d:+.2f}%",
                     v.policy.direction,
+                    v.note or "-",
                 ]
             )
         table = format_table(
-            ["status", "area", "metric", "baseline", "current", "delta", "better"], rows
+            ["status", "area", "metric", "baseline", "current", "delta", "better", "note"],
+            rows,
         )
         counts = ", ".join(f"{k}={n}" for k, n in sorted(self.counts().items()))
         verdict_line = "REGRESSION GATE: FAIL" if self.failed else "regression gate: pass"
@@ -253,12 +310,28 @@ def gate_metrics(
     registry: MetricRegistry,
     overrides: Optional[Mapping[str, TolerancePolicy]] = None,
 ) -> RegressionReport:
-    """Gate already-parsed per-area metrics against the registry."""
+    """Gate already-parsed per-area metrics against the registry.
+
+    Host-shape awareness: when an area's baseline was recorded on a
+    host with a different (or unrecorded) ``cpu_count``, every verdict
+    on a :data:`HOST_SENSITIVE_PREFIXES` metric is downgraded to
+    advisory with the mismatch reason in its note — the metric is still
+    reported and trended, it just cannot fail the gate.
+    """
     verdicts: List[Verdict] = []
     for area in sorted(per_area):
-        verdicts.extend(
-            compare_metrics(area, registry.baseline(area), per_area[area], overrides)
-        )
+        doc = registry.load(area)
+        baseline = None if doc is None else {
+            str(k): float(v) for k, v in (doc.get("metrics") or {}).items()
+        }
+        area_verdicts = compare_metrics(area, baseline, per_area[area], overrides)
+        mismatch = host_mismatch(None if doc is None else doc.get("provenance"))
+        if mismatch is not None:
+            for v in area_verdicts:
+                if v.metric.startswith(HOST_SENSITIVE_PREFIXES) and v.policy.required:
+                    v.policy = replace(v.policy, required=False)
+                    v.note = f"host mismatch: {mismatch}"
+        verdicts.extend(area_verdicts)
     return RegressionReport(verdicts)
 
 

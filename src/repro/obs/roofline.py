@@ -1,0 +1,217 @@
+"""Host-calibrated roofline model: peak FLOP/s, stream bandwidth, ridge.
+
+The attribution engine (:mod:`repro.obs.attrib`) classifies every
+layer/kernel as compute- or memory-bound by placing its *measured*
+arithmetic intensity (FLOPs per byte moved) and attained FLOP/s against
+this machine's roofline [Williams et al., CACM 2009].  The two roofs
+are measured, not assumed:
+
+* **peak FLOP/s** — best-of-N dense f64 GEMM (``x @ y`` through the
+  same BLAS every kernel in :mod:`repro.core.kernels` bottoms out in),
+* **stream bandwidth** — best-of-N large-array copy (reads + writes
+  counted, the STREAM "copy" convention).
+
+Calibration costs well under a second and is cached with provenance
+(host, machine, cpu count, numpy version); a cache entry from a
+different host or core count is discarded, so a committed or stale
+cache can never misclassify layers on a new machine.  Set
+``REPRO_ROOFLINE_CACHE`` to override the cache location (tests point it
+at a tmp dir).
+
+The ridge intensity ``peak_flops / stream_bandwidth`` is the break-even
+point: below it a kernel cannot reach peak no matter how good its
+schedule is — the lever is data movement (the paper's LAR/GAR reuse
+story); above it the lever is arithmetic (the paper's RME multiply
+elimination).  This is the communication-lower-bound view of Demmel &
+Dinh applied as a diagnostic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "Roofline",
+    "measure_peak_flops",
+    "measure_stream_bandwidth",
+    "calibrate",
+    "roofline_cache_path",
+    "load_cached",
+    "get_roofline",
+]
+
+#: provenance keys that must match for a cached calibration to be reused
+_IDENTITY_KEYS = ("host", "machine", "cpu_count", "numpy")
+
+
+def _host_identity() -> Dict[str, str]:
+    return {
+        "host": socket.gethostname(),
+        "machine": platform.machine(),
+        "cpu_count": str(os.cpu_count() or 1),
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+    }
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """One host's measured roofline: two roofs and their crossing."""
+
+    #: attainable dense-GEMM throughput, FLOP/s
+    peak_flops: float
+    #: attainable memory bandwidth, bytes/s
+    stream_bandwidth: float
+    #: calibration provenance (host identity + timestamp)
+    provenance: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (self.peak_flops > 0 and self.stream_bandwidth > 0):
+            raise ValueError("roofline roofs must be positive")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """FLOP/byte where the memory roof meets the compute roof."""
+        return self.peak_flops / self.stream_bandwidth
+
+    def attainable_flops(self, intensity: float) -> float:
+        """The roofline cap for a kernel of the given intensity."""
+        if intensity <= 0:
+            return 0.0
+        return min(self.peak_flops, intensity * self.stream_bandwidth)
+
+    def classify(self, intensity: float) -> str:
+        """``"compute"`` above the ridge, ``"memory"`` below it."""
+        return "compute" if intensity >= self.ridge_intensity else "memory"
+
+    def attained_fraction(self, attained_flops: float, intensity: float) -> float:
+        """attained / attainable for that intensity (0 when undefined)."""
+        cap = self.attainable_flops(intensity)
+        if cap <= 0:
+            return 0.0
+        return attained_flops / cap
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "peak_flops": self.peak_flops,
+            "stream_bandwidth": self.stream_bandwidth,
+            "ridge_intensity": self.ridge_intensity,
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Roofline":
+        return cls(
+            peak_flops=float(doc["peak_flops"]),
+            stream_bandwidth=float(doc["stream_bandwidth"]),
+            provenance=dict(doc.get("provenance") or {}),
+        )
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_peak_flops(n: int = 384, repeats: int = 5) -> float:
+    """Best-of-N dense f64 GEMM throughput in FLOP/s.
+
+    ``2 n^3`` FLOPs per multiply; n=384 keeps the working set in cache
+    so the number approximates the compute roof, not memory.
+    """
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((n, n))
+    y = rng.standard_normal((n, n))
+    x @ y  # warm up BLAS thread pool / allocator
+    best = _best_of(lambda: x @ y, repeats)
+    return 2.0 * n**3 / best
+
+
+def measure_stream_bandwidth(nbytes: int = 1 << 25, repeats: int = 5) -> float:
+    """Best-of-N large-copy bandwidth in bytes/s (STREAM "copy").
+
+    A 32 MiB f64 copy defeats every cache level that matters here; each
+    pass moves ``2 * nbytes`` (read source + write destination).
+    """
+    n = max(1, nbytes // 8)
+    src = np.zeros(n, dtype=np.float64)
+    dst = np.empty_like(src)
+    np.copyto(dst, src)  # fault in both buffers
+    best = _best_of(lambda: np.copyto(dst, src), repeats)
+    return 2.0 * n * 8 / best
+
+
+def calibrate(gemm_n: int = 384, stream_bytes: int = 1 << 25, repeats: int = 5) -> Roofline:
+    """Run both microbenchmarks and stamp the result with provenance."""
+    from repro.obs.tracer import get_tracer
+
+    with get_tracer().span("roofline.calibrate", category="obs"):
+        peak = measure_peak_flops(n=gemm_n, repeats=repeats)
+        bw = measure_stream_bandwidth(nbytes=stream_bytes, repeats=repeats)
+    prov = _host_identity()
+    prov["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+    prov["gemm_n"] = str(gemm_n)
+    prov["stream_bytes"] = str(stream_bytes)
+    return Roofline(peak_flops=peak, stream_bandwidth=bw, provenance=prov)
+
+
+def roofline_cache_path() -> str:
+    """Cache file location (override with ``REPRO_ROOFLINE_CACHE``)."""
+    override = os.environ.get("REPRO_ROOFLINE_CACHE")
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro", "roofline.json")
+
+
+def load_cached(path: Optional[str] = None) -> Optional[Roofline]:
+    """The cached calibration, or None when absent/corrupt/foreign.
+
+    A cache written on a different host, architecture, core count or
+    numpy build is treated as absent — both roofs are properties of
+    exactly that configuration.
+    """
+    path = path or roofline_cache_path()
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+        roof = Roofline.from_dict(doc)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    identity = _host_identity()
+    for key in _IDENTITY_KEYS:
+        if roof.provenance.get(key) != identity[key]:
+            return None
+    return roof
+
+
+def get_roofline(path: Optional[str] = None, refresh: bool = False) -> Roofline:
+    """The host roofline: cached when valid, else calibrate and cache."""
+    path = path or roofline_cache_path()
+    if not refresh:
+        cached = load_cached(path)
+        if cached is not None:
+            return cached
+    roof = calibrate()
+    try:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(roof.as_dict(), fh, indent=2)
+            fh.write("\n")
+    except OSError:
+        pass  # read-only cache dir: calibration still returned
+    return roof

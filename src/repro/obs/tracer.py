@@ -177,6 +177,36 @@ class Tracer:
             )
         )
 
+    def record_span(
+        self, name: str, dur_us: float, category: str = "", **attrs
+    ) -> None:
+        """Record an already-measured span (duration known, body elsewhere).
+
+        Used to merge work that happened outside this tracer — e.g. a
+        worker process's shard, whose wall time travelled back as a
+        number — into the timeline as a real span.  The span is
+        backdated to end *now*: the caller invokes this right after the
+        foreign work completed, so ``[now - dur, now]`` lies inside the
+        currently open parent span and tree reconstruction by interval
+        containment (:mod:`repro.obs.attrib`) still works.
+        """
+        if not self.enabled:
+            return
+        stack = self._stack()
+        end_us = (time.perf_counter() - self._epoch_s) * 1e6
+        self._record(
+            SpanEvent(
+                name=name,
+                ts_us=end_us - max(0.0, float(dur_us)),
+                dur_us=max(0.0, float(dur_us)),
+                tid=threading.get_ident(),
+                depth=len(stack),
+                parent=stack[-1].name if stack else None,
+                category=category,
+                attrs=attrs,
+            )
+        )
+
     def add(self, name: str, value: float = 1.0) -> None:
         """Increment counter ``name`` by ``value``."""
         if not self.enabled:

@@ -1,0 +1,186 @@
+"""Run forensics: injected regressions must rank first, with causes.
+
+The synthetic-trace tests inject a known slowdown / kernel swap /
+span removal between run A and run B and assert :func:`diff_runs`
+localizes exactly that change at the top of the ranking.  The bench
+tests exercise :func:`diff_bench` against a throwaway BENCH_* registry.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.attrib import build_attribution
+from repro.obs.forensics import BenchDiff, RunDiff, diff_bench, diff_runs
+from repro.obs.metrics import MetricRegistry
+from repro.obs.tracer import Tracer
+
+
+def span(name, ts, dur, cat="", tid=1, **attrs):
+    return {
+        "type": "span",
+        "name": name,
+        "ts_us": ts,
+        "dur_us": dur,
+        "tid": tid,
+        "depth": 0,
+        "parent": None,
+        "cat": cat,
+        "attrs": attrs,
+    }
+
+
+def _model_trace(slow_layer=None, factor=3.0, kernel="fused-f64"):
+    """A three-layer forward; one layer optionally slowed by ``factor``."""
+    walls = {"net.features.0": 400.0, "net.features.1": 300.0, "net.fc": 200.0}
+    if slow_layer is not None:
+        walls[slow_layer] *= factor
+    events, ts = [], 0.0
+    for name, dur in walls.items():
+        events.append(span(name, ts, dur, cat="nn", kernel=kernel))
+        ts += dur + 5.0
+    events.append(span("net.forward", 0.0, ts, cat="nn"))
+    return events
+
+
+class TestDiffRuns:
+    def test_injected_slowdown_is_top_ranked(self):
+        """The acceptance property: a synthetic 3x slowdown on one layer
+        must come back as the #1 entry, localized to that layer."""
+        a = build_attribution(_model_trace())
+        b = build_attribution(_model_trace(slow_layer="net.features.1"))
+        diff = diff_runs(a, b)
+        assert isinstance(diff, RunDiff)
+        culprit = diff.culprit
+        assert culprit is not None
+        # net.forward (the container) grows by the same amount; the
+        # layer itself must still outrank or tie every *other* layer
+        layer_entries = [e for e in diff.entries if e.name != "net.forward"]
+        assert layer_entries[0].name == "net.features.1"
+        assert layer_entries[0].delta_us == pytest.approx(600.0)
+        assert layer_entries[0].delta_rel == pytest.approx(2.0)
+        # untouched layers sit at ~zero delta
+        fc = next(e for e in diff.entries if e.name == "net.fc")
+        assert fc.delta_us == pytest.approx(0.0)
+
+    def test_added_and_removed_spans_are_noted(self):
+        a = build_attribution([span("old.pass", 0, 50), span("both", 60, 10)])
+        b = build_attribution([span("new.pass", 0, 70), span("both", 80, 10)])
+        diff = diff_runs(a, b)
+        by_name = {e.name: e for e in diff.entries}
+        assert "added in B" in by_name["new.pass"].notes
+        assert "removed in B" in by_name["old.pass"].notes
+        assert by_name["new.pass"].wall_a_us == 0.0
+        assert by_name["old.pass"].wall_b_us == 0.0
+
+    def test_kernel_swap_is_annotated(self):
+        a = build_attribution(_model_trace(kernel="fused-f64"))
+        b = build_attribution(_model_trace(kernel="fused-f32-nhwc"))
+        diff = diff_runs(a, b)
+        e = next(x for x in diff.entries if x.name == "net.features.0")
+        assert any("fused-f64 -> fused-f32-nhwc" in n for n in e.notes)
+
+    def test_ops_drift_is_annotated(self):
+        a = build_attribution([span("k", 0, 100, counters={"mults": 1000})])
+        b = build_attribution([span("k", 0, 100, counters={"mults": 2000})])
+        diff = diff_runs(a, b)
+        e = next(x for x in diff.entries if x.name == "k")
+        assert any(n.startswith("ops x2.00") for n in e.notes)
+
+    def test_kernel_plan_change_surfaces_without_spans(self):
+        """A compile.plan kernel swap on a module with no span of its
+        own still produces a ranked entry — never silent."""
+
+        def trace(kern):
+            return [
+                span("compile.pipeline", 0, 100, cat="compiler"),
+                {
+                    "type": "instant",
+                    "name": "compile.plan",
+                    "ts_us": 50,
+                    "dur_us": None,
+                    "tid": 1,
+                    "depth": 1,
+                    "parent": "compile.pipeline",
+                    "cat": "compiler",
+                    "attrs": {"kernels": {"features.0": kern}},
+                },
+            ]
+
+        a = build_attribution(trace("fused-f64"))
+        b = build_attribution(trace("fused-int8"))
+        diff = diff_runs(a, b)
+        e = next(x for x in diff.entries if x.name == "plan.features.0")
+        assert e.notes == ["plan kernel fused-f64 -> fused-int8"]
+
+    def test_min_delta_filter(self):
+        a = build_attribution(_model_trace())
+        b = build_attribution(_model_trace(slow_layer="net.features.0", factor=1.001))
+        diff = diff_runs(a, b, min_delta_us=50.0)
+        assert all(abs(e.delta_us) >= 50.0 or e.notes for e in diff.entries)
+
+    def test_accepts_tracers_and_paths(self, tmp_path):
+        ta, tb = Tracer(enabled=True), Tracer(enabled=True)
+        with ta.span("work"):
+            pass
+        with tb.span("work"):
+            pass
+        diff = diff_runs(ta, tb)
+        assert any(e.name == "work" for e in diff.entries) or diff.entries == []
+        from repro.obs.export import write_jsonl
+
+        path_a = tmp_path / "a.jsonl"
+        path_b = tmp_path / "b.jsonl"
+        write_jsonl(str(path_a), ta)
+        write_jsonl(str(path_b), tb)
+        diff2 = diff_runs(str(path_a), str(path_b))
+        assert {e.name for e in diff2.entries} == {e.name for e in diff.entries}
+
+    def test_render_mentions_totals_and_culprit(self):
+        a = build_attribution(_model_trace())
+        b = build_attribution(_model_trace(slow_layer="net.fc"))
+        text = diff_runs(a, b).render()
+        assert "net.fc" in text and "span coverage" in text
+
+
+class TestDiffBench:
+    def _seed(self, tmp_path):
+        registry = MetricRegistry(str(tmp_path))
+        # kernel.* figures live in the accel area, attrib/train in core
+        registry.update("accel", {"kernel.fused_samples_per_sec": 100.0})
+        registry.update(
+            "core",
+            {"attrib.span_coverage[model=lenet5]": 0.95, "train.loss": 0.5},
+        )
+        return registry
+
+    def test_ranked_by_relative_movement(self, tmp_path):
+        self._seed(tmp_path)
+        jsonl = tmp_path / "metrics.jsonl"
+        rows = [
+            {"figure": "kernel", "metric": "fused_samples_per_sec", "value": 50.0},
+            {"figure": "attrib", "metric": "span_coverage", "model": "lenet5", "value": 0.94},
+        ]
+        jsonl.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        diff = diff_bench(str(jsonl), root=str(tmp_path))
+        assert isinstance(diff, BenchDiff)
+        # the -50% throughput regression outranks the -1% coverage drift
+        assert diff.entries[0].key == "kernel.fused_samples_per_sec"
+        assert diff.entries[0].delta_rel == pytest.approx(-0.5)
+        assert diff.entries[1].key == "attrib.span_coverage[model=lenet5]"
+        assert "train.loss" in diff.missing_current
+
+    def test_new_metric_lands_in_missing_baseline(self, tmp_path):
+        self._seed(tmp_path)
+        jsonl = tmp_path / "metrics.jsonl"
+        jsonl.write_text(json.dumps({"figure": "attrib", "metric": "brand_new", "value": 1.0}) + "\n")
+        diff = diff_bench(str(jsonl), root=str(tmp_path))
+        assert "attrib.brand_new" in diff.missing_baseline
+        assert diff.entries == []
+
+    def test_render_smoke(self, tmp_path):
+        self._seed(tmp_path)
+        jsonl = tmp_path / "metrics.jsonl"
+        jsonl.write_text(json.dumps({"figure": "train", "metric": "loss", "value": 0.6}) + "\n")
+        text = diff_bench(str(jsonl), root=str(tmp_path)).render()
+        assert "train.loss" in text and "+20.00" in text

@@ -202,3 +202,66 @@ class TestGateEndToEnd:
         assert "# Benchmark dashboard" in text
         assert "fig13.speedup[config=a]" in text
         capsys.readouterr()
+
+
+class TestHostMismatchGating:
+    """Host-shape-aware gating: a baseline recorded on a different (or
+    unknown) core count must not fail the build on host-sensitive
+    metrics, while host-independent required metrics keep gating."""
+
+    FORCE_REQUIRED = {
+        "roofline.": TolerancePolicy(direction="higher", rel_tol=0.05, required=True)
+    }
+
+    def _gate(self, tmp_path, stamp, current=None):
+        from repro.obs.regress import gate_metrics
+
+        registry = MetricRegistry(str(tmp_path))
+        registry.update(
+            "core",
+            {"roofline.attained_fraction": 0.9, "attrib.span_coverage": 0.95},
+            stamp=stamp,
+        )
+        current = current or {
+            "core": {"roofline.attained_fraction": 0.1, "attrib.span_coverage": 0.5}
+        }
+        return gate_metrics(current, registry, self.FORCE_REQUIRED)
+
+    def test_host_mismatch_reasons(self):
+        from repro.obs.regress import host_mismatch
+
+        cur = {"cpu_count": "1", "machine": "x86_64"}
+        assert host_mismatch({"cpu_count": "1"}, cur) is None
+        assert "cpu_count=64" in host_mismatch({"cpu_count": "64"}, cur)
+        # a pre-provenance baseline has unknown host shape -> mismatch
+        assert "no cpu_count" in host_mismatch({"git_sha": "old"}, cur)
+        assert host_mismatch(None, cur) is not None
+
+    def test_mismatch_downgrades_host_sensitive_only(self, tmp_path):
+        import os
+
+        foreign = {"git_sha": "seed", "cpu_count": str((os.cpu_count() or 1) + 64)}
+        report = self._gate(tmp_path, foreign)
+        roofline = _one(report.verdicts, "roofline.attained_fraction")
+        coverage = _one(report.verdicts, "attrib.span_coverage")
+        # the huge roofline regression is advisory: noted, cannot fail
+        assert not roofline.fails
+        assert not roofline.policy.required
+        assert "host mismatch" in roofline.note
+        # span coverage is instrumentation health, not host speed:
+        # it keeps its required policy and fails the gate
+        assert coverage.fails and coverage.note == ""
+        assert report.failed
+
+    def test_missing_cpu_count_counts_as_mismatch(self, tmp_path):
+        report = self._gate(tmp_path, {"git_sha": "pre-provenance-seed"})
+        roofline = _one(report.verdicts, "roofline.attained_fraction")
+        assert not roofline.fails and "host mismatch" in roofline.note
+
+    def test_same_host_keeps_required_policy(self, tmp_path):
+        from repro.obs.metrics import provenance
+
+        report = self._gate(tmp_path, provenance())
+        roofline = _one(report.verdicts, "roofline.attained_fraction")
+        assert roofline.fails and roofline.note == ""
+        assert roofline.policy.required

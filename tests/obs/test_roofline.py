@@ -1,0 +1,98 @@
+"""Host roofline calibration: roofs, classification, cache provenance."""
+
+import json
+
+import pytest
+
+from repro.obs.roofline import (
+    Roofline,
+    calibrate,
+    get_roofline,
+    load_cached,
+    measure_peak_flops,
+    measure_stream_bandwidth,
+    roofline_cache_path,
+)
+
+
+@pytest.fixture
+def cache_path(tmp_path, monkeypatch):
+    path = tmp_path / "roofline.json"
+    monkeypatch.setenv("REPRO_ROOFLINE_CACHE", str(path))
+    return str(path)
+
+
+class TestRooflineModel:
+    def test_ridge_and_classification(self):
+        roof = Roofline(peak_flops=100.0, stream_bandwidth=10.0)
+        assert roof.ridge_intensity == pytest.approx(10.0)
+        assert roof.classify(20.0) == "compute"
+        assert roof.classify(5.0) == "memory"
+        # below the ridge the cap is the memory roof
+        assert roof.attainable_flops(5.0) == pytest.approx(50.0)
+        # above it, the compute roof
+        assert roof.attainable_flops(20.0) == pytest.approx(100.0)
+        assert roof.attainable_flops(0.0) == 0.0
+
+    def test_attained_fraction(self):
+        roof = Roofline(peak_flops=100.0, stream_bandwidth=10.0)
+        assert roof.attained_fraction(25.0, 5.0) == pytest.approx(0.5)
+        assert roof.attained_fraction(1.0, 0.0) == 0.0
+
+    def test_positive_roofs_required(self):
+        with pytest.raises(ValueError):
+            Roofline(peak_flops=0.0, stream_bandwidth=1.0)
+        with pytest.raises(ValueError):
+            Roofline(peak_flops=1.0, stream_bandwidth=-1.0)
+
+    def test_round_trip(self):
+        roof = Roofline(peak_flops=2.0, stream_bandwidth=3.0, provenance={"host": "x"})
+        again = Roofline.from_dict(roof.as_dict())
+        assert again.peak_flops == roof.peak_flops
+        assert again.stream_bandwidth == roof.stream_bandwidth
+        assert again.provenance["host"] == "x"
+
+
+class TestCalibration:
+    def test_microbenchmarks_positive(self):
+        # tiny sizes: this is a smoke test, not a measurement
+        assert measure_peak_flops(n=64, repeats=1) > 0
+        assert measure_stream_bandwidth(nbytes=1 << 16, repeats=1) > 0
+
+    def test_calibrate_stamps_provenance(self):
+        roof = calibrate(gemm_n=64, stream_bytes=1 << 16, repeats=1)
+        for key in ("host", "machine", "cpu_count", "numpy", "timestamp"):
+            assert key in roof.provenance
+        assert roof.ridge_intensity > 0
+
+
+class TestCache:
+    def test_env_override_controls_path(self, cache_path):
+        assert roofline_cache_path() == cache_path
+
+    def test_get_roofline_writes_and_reuses_cache(self, cache_path):
+        first = get_roofline()
+        with open(cache_path) as fh:
+            doc = json.load(fh)
+        assert doc["peak_flops"] == first.peak_flops
+        # second call must hit the cache (identical values, no re-measure)
+        second = get_roofline()
+        assert second.peak_flops == first.peak_flops
+        assert second.stream_bandwidth == first.stream_bandwidth
+
+    def test_absent_and_corrupt_cache(self, cache_path, tmp_path):
+        assert load_cached(cache_path) is None
+        with open(cache_path, "w") as fh:
+            fh.write("{not json")
+        assert load_cached(cache_path) is None
+
+    def test_foreign_host_cache_discarded(self, cache_path):
+        roof = get_roofline()
+        with open(cache_path) as fh:
+            doc = json.load(fh)
+        doc["provenance"]["cpu_count"] = str(int(doc["provenance"]["cpu_count"]) + 64)
+        with open(cache_path, "w") as fh:
+            json.dump(doc, fh)
+        # same file, wrong core count -> treated as absent
+        assert load_cached(cache_path) is None
+        assert roof.peak_flops > 0
