@@ -431,6 +431,28 @@ def shutdown_pools() -> None:
 atexit.register(shutdown_pools)
 
 
+def _telemetry_submit(pool_label: str, shards: int, workers: int) -> None:
+    """Record queue depth + pool saturation at a shard-submit site.
+
+    One ``enabled`` check when telemetry is off — the same contract as
+    the tracer.  ``parallel.queue_depth`` is the number of shards just
+    enqueued (zeroed again when the results are absorbed), and
+    ``parallel.pool_saturation`` is shards per worker: sustained > 1
+    means the pool is the bottleneck; < 1 means workers sit idle.
+    """
+    from repro.obs.telemetry.registry import get_telemetry
+
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return
+    telemetry.gauge("parallel.queue_depth", "shards queued on the worker pool").set(
+        shards, pool=pool_label
+    )
+    telemetry.gauge(
+        "parallel.pool_saturation", "queued shards per pool worker"
+    ).set(shards / max(workers, 1), pool=pool_label)
+
+
 def _absorb_shard_results(results: Sequence[Dict[str, Any]], label: str) -> None:
     """Merge worker counters + re-emit per-shard spans in the parent.
 
@@ -440,13 +462,29 @@ def _absorb_shard_results(results: Sequence[Dict[str, Any]], label: str) -> None
     not just instant markers, so the attribution engine's coverage
     metric sees sharded work exactly like in-process work, and the
     worker's measured counters ride along as span attrs for the
-    roofline join.
+    roofline join.  With telemetry enabled, every shard also lands in
+    the ``parallel.shard_latency_ms`` histogram and the per-worker
+    ``parallel.worker_shards_total`` counter, and the pool's queue
+    depth drops back to zero.
     """
     from repro.obs.metrics import OpCounters, get_recorder
+    from repro.obs.telemetry.registry import get_telemetry
     from repro.obs.tracer import get_tracer
 
     recorder = get_recorder()
     tracer = get_tracer()
+    telemetry = get_telemetry()
+    shard_hist = worker_ctr = None
+    if telemetry.enabled:
+        shard_hist = telemetry.histogram(
+            "parallel.shard_latency_ms", "per-shard wall time in the worker"
+        )
+        worker_ctr = telemetry.counter(
+            "parallel.worker_shards_total", "shards completed per worker process"
+        )
+        telemetry.gauge("parallel.queue_depth", "shards queued on the worker pool").set(
+            0, pool=label
+        )
     for res in results:
         counts = res.get("counters") or {}
         if recorder.enabled and counts:
@@ -468,6 +506,9 @@ def _absorb_shard_results(results: Sequence[Dict[str, Any]], label: str) -> None
             category="parallel",
             **attrs,
         )
+        if shard_hist is not None:
+            shard_hist.observe(res["wall_time_s"] * 1e3, pool=label)
+            worker_ctr.inc(pool=label, pid=res["pid"])
 
 
 # ---------------------------------------------------------------------------
@@ -549,6 +590,7 @@ def _execute_sharded(
             "shape_class": sc,
         }
         pool_exec = get_executor(workers)
+        _telemetry_submit("kernel", len(shards), workers)
         with get_tracer().span(
             "parallel.fused_conv_pool",
             category="parallel",
@@ -694,6 +736,7 @@ def parallel_fused_conv_pool_int(
             "out_amax": out_amax,
         }
         pool_exec = get_executor(workers)
+        _telemetry_submit("int", len(shards), workers)
         with get_tracer().span(
             "parallel.fused_conv_pool_int",
             category="parallel",
@@ -842,6 +885,7 @@ class ParallelPlanExecutor:
                 "x_shape": tuple(x.shape),
                 "dtype": np.dtype(np.float64).str,
             }
+            _telemetry_submit("plan", len(shards), self.workers)
             with get_tracer().span(
                 "parallel.plan",
                 category="parallel",

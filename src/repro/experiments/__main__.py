@@ -52,6 +52,18 @@ width (default 8)::
 
     python -m repro.experiments --numerics lenet5 --bits 4 \\
         --numerics-report numerics.json
+
+``--telemetry`` enables the live metric registry
+(:mod:`repro.obs.telemetry`) for the run and prints the per-series
+summary at the end; ``--telemetry-report PATH`` additionally exports a
+JSONL snapshot time series (``.jsonl``, scraped every 0.5 s by a
+background exporter) or a final Prometheus text-format snapshot
+(``.prom``).  ``--profile PATH`` runs everything under the background
+sampling profiler and writes an HTML flamegraph (``.html``) or
+collapsed-stack text::
+
+    python -m repro.experiments --only fig13 --telemetry \\
+        --telemetry-report telemetry.jsonl --profile profile.html
 """
 
 from __future__ import annotations
@@ -271,6 +283,28 @@ def main(argv=None) -> int:
         help="print the top-N-spans summary table after the run",
     )
     parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable the live telemetry registry (repro.obs.telemetry) "
+        "for the run and print the metric summary at the end",
+    )
+    parser.add_argument(
+        "--telemetry-report",
+        metavar="PATH",
+        default=None,
+        help="implies --telemetry: export scraped snapshots to PATH — "
+        "a JSONL time series (background exporter, .jsonl) or a final "
+        "Prometheus text-format snapshot (.prom)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="run under the background sampling profiler and write the "
+        "profile to PATH (HTML flamegraph for .html, collapsed-stack "
+        "text otherwise); prints the top functions and measured overhead",
+    )
+    parser.add_argument(
         "--bench-compare",
         metavar="JSONL",
         default=None,
@@ -318,6 +352,17 @@ def main(argv=None) -> int:
     if tracing:
         tracer.clear()
         tracer.enable()
+    telemetry = obs.get_telemetry()
+    telemetering = bool(args.telemetry or args.telemetry_report)
+    exporter = None
+    if telemetering:
+        telemetry.clear()
+        telemetry.enable()
+        if args.telemetry_report and args.telemetry_report.endswith(".jsonl"):
+            exporter = obs.TelemetryExporter(
+                telemetry, jsonl_path=args.telemetry_report, period_s=0.5
+            ).start()
+    profiler = obs.SamplingProfiler().start() if args.profile else None
     try:
         if args.pipeline is not None:
             return _compile_pipeline(args.pipeline, args.bits, args.report)
@@ -325,6 +370,36 @@ def main(argv=None) -> int:
             return _run_numerics(args)
         return _run_suite(parser, args)
     finally:
+        if profiler is not None:
+            profiler.stop()
+            if args.profile.endswith((".html", ".htm")):
+                profiler.write_flamegraph(args.profile)
+            else:
+                profiler.write_collapsed(args.profile)
+            print(
+                f"profile: {profiler.sample_count} sample(s) -> {args.profile} "
+                f"(measured overhead {100 * profiler.overhead_fraction:.3f}%)"
+            )
+            for frame, count in profiler.top_functions(5):
+                print(f"  {count:6d}  {frame}")
+        if telemetering:
+            if exporter is not None:
+                exporter.stop()
+                print(
+                    f"telemetry: {exporter.scrapes} snapshot(s) -> "
+                    f"{args.telemetry_report}"
+                )
+            elif args.telemetry_report:
+                snap = telemetry.snapshot()
+                with open(args.telemetry_report, "w") as fh:
+                    fh.write(snap.to_prometheus())
+                print(f"telemetry snapshot -> {args.telemetry_report}")
+            rows = telemetry.doc_rows()
+            if rows:
+                print("\ntelemetry:")
+                for row in rows:
+                    print(f"  {row}")
+            telemetry.disable()
         if tracing:
             tracer.disable()
             if args.trace:

@@ -72,6 +72,17 @@ from repro.obs.regress import (
     gate_jsonl,
     gate_metrics,
 )
+from repro.obs.telemetry import (
+    Alert,
+    AlertEngine,
+    SamplingProfiler,
+    SloRule,
+    TelemetryExporter,
+    TelemetryRegistry,
+    TelemetrySnapshot,
+    get_telemetry,
+    read_telemetry_jsonl,
+)
 from repro.obs.tracer import (
     SpanEvent,
     Tracer,
@@ -83,6 +94,8 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "Alert",
+    "AlertEngine",
     "AttributionReport",
     "BenchDiff",
     "MetricRegistry",
@@ -94,7 +107,12 @@ __all__ = [
     "Roofline",
     "RunDiff",
     "RunRecord",
+    "SamplingProfiler",
+    "SloRule",
     "SpanEvent",
+    "TelemetryExporter",
+    "TelemetryRegistry",
+    "TelemetrySnapshot",
     "TensorStats",
     "TolerancePolicy",
     "Tracer",
@@ -113,10 +131,12 @@ __all__ = [
     "gate_metrics",
     "get_recorder",
     "get_roofline",
+    "get_telemetry",
     "get_tracer",
     "instrument_model",
     "observe",
     "provenance",
+    "read_telemetry_jsonl",
     "record_quant_event",
     "reorder_divergence",
     "span",

@@ -285,6 +285,79 @@ def _run_diff_section(run_diff) -> _Section:
     )
 
 
+def _telemetry_section(snapshots: Sequence, alerts: Optional[Sequence] = None) -> _Section:
+    """Live telemetry: per-series time evolution + active SLO alerts.
+
+    ``snapshots`` is a sequence of
+    :class:`~repro.obs.telemetry.registry.TelemetrySnapshot` (or their
+    ``as_dict`` documents), e.g. from
+    :func:`~repro.obs.telemetry.registry.read_telemetry_jsonl`; the last
+    one supplies current values and the whole sequence feeds the trend
+    sparkline.  ``alerts`` is a sequence of
+    :class:`~repro.obs.telemetry.rules.Alert` (or dicts).
+    """
+    docs = [s.as_dict() if hasattr(s, "as_dict") else dict(s) for s in snapshots]
+    rows: List[List[str]] = []
+    if docs:
+        # series key -> value per snapshot, in snapshot order
+        def _rows_of(doc) -> Dict[str, Mapping]:
+            out: Dict[str, Mapping] = {}
+            for fam in doc.get("metrics") or []:
+                for srow in fam.get("series") or []:
+                    labels = srow.get("labels") or {}
+                    tag = "".join(f"[{k}={v}]" for k, v in sorted(labels.items()))
+                    out[f"{fam['name']}{tag}"] = {"type": fam["type"], **srow}
+            return out
+
+        history = [_rows_of(doc) for doc in docs]
+        latest = history[-1]
+        for key in sorted(latest):
+            row = latest[key]
+            if row["type"] == "histogram":
+                track = [
+                    h[key]["p99"]
+                    for h in history
+                    if key in h and h[key].get("p99") is not None
+                ]
+                count = int(row.get("count") or 0)
+                mean = (row["sum"] / count) if count else 0.0
+                rows.append(
+                    [
+                        key,
+                        "histogram",
+                        f"n={count} mean={mean:.3f} "
+                        f"p50={row.get('p50') if row.get('p50') is not None else float('nan'):.3f} "
+                        f"p95={row.get('p95') if row.get('p95') is not None else float('nan'):.3f} "
+                        f"p99={row.get('p99') if row.get('p99') is not None else float('nan'):.3f}",
+                        sparkline(track) or "·",
+                    ]
+                )
+            else:
+                track = [h[key]["value"] for h in history if key in h]
+                rows.append([key, row["type"], f"{row['value']:.6g}", sparkline(track) or "·"])
+    notes: List[str] = []
+    span_s = docs[-1]["ts"] - docs[0]["ts"] if len(docs) > 1 else 0.0
+    notes.append(
+        f"{len(docs)} snapshot(s) over {span_s:.1f}s "
+        "(histogram trend tracks p99)"
+    )
+    alert_docs = [a.as_dict() if hasattr(a, "as_dict") else dict(a) for a in (alerts or [])]
+    active = [a for a in alert_docs if a.get("resolved_at") is None]
+    if alert_docs:
+        notes.append(f"alerts: {len(active)} active / {len(alert_docs)} fired")
+        for a in alert_docs:
+            state = "ACTIVE" if a.get("resolved_at") is None else "resolved"
+            notes.append(f"{state}: {a.get('message') or a.get('rule')}")
+    else:
+        notes.append("alerts: none fired")
+    return _Section(
+        "Live telemetry",
+        ["series", "type", "current", "trend"],
+        rows,
+        notes,
+    )
+
+
 def _counters_section(counters: OpCounters) -> _Section:
     rows = [[name, f"{value:.6g}"] for name, value in counters.as_dict().items() if value]
     denom = counters.mults + counters.mults_eliminated
@@ -307,6 +380,8 @@ def build_dashboard(
     numerics: Optional[Mapping] = None,
     attribution: Optional[Mapping] = None,
     run_diff=None,
+    telemetry: Optional[Sequence] = None,
+    alerts: Optional[Sequence] = None,
 ) -> List[_Section]:
     """Assemble dashboard sections (shared by both output formats).
 
@@ -314,8 +389,10 @@ def build_dashboard(
     <repro.obs.numerics.NumericsCollector.report>` document;
     ``attribution`` an
     :meth:`~repro.obs.attrib.AttributionReport.as_dict` document;
-    ``run_diff`` a :class:`~repro.obs.forensics.RunDiff`.  Each renders
-    as its own section when given.
+    ``run_diff`` a :class:`~repro.obs.forensics.RunDiff`; ``telemetry``
+    a sequence of telemetry snapshots (see :func:`_telemetry_section`)
+    with ``alerts`` the matching SLO alert episodes.  Each renders as
+    its own section when given.
     """
     sections: List[_Section] = []
     areas = sorted(set(registry.areas()) | set(current or {}))
@@ -324,6 +401,8 @@ def build_dashboard(
     parallel = _parallel_section(registry, (current or {}).get("accel"))
     if parallel is not None:
         sections.append(parallel)
+    if telemetry is not None:
+        sections.append(_telemetry_section(telemetry, alerts))
     if numerics is not None:
         sections.append(_numerics_section(numerics))
     if attribution is not None:
@@ -335,7 +414,7 @@ def build_dashboard(
                  "missing_baseline": 4, "missing_current": 5}
         rows = [
             [
-                v.status,
+                v.status + ("" if v.policy.required else " (advisory)"),
                 v.area,
                 v.metric,
                 "-" if v.baseline is None else f"{v.baseline:.6g}",
@@ -346,12 +425,27 @@ def build_dashboard(
             for v in sorted(gate_report.verdicts, key=lambda v: (order[v.status], v.area, v.metric))
         ]
         verdict = "**FAIL**" if gate_report.failed else "pass"
+        notes = [f"gate verdict: {verdict}"]
+        # Surface auto-downgrades (host-sensitive metrics judged on a
+        # machine shaped unlike the baseline's) with their reason —
+        # previously only the CLI report mentioned why a metric that
+        # normally gates required showed up advisory.
+        downgraded = [
+            v for v in gate_report.verdicts
+            if not v.policy.required and (getattr(v, "note", "") or "").startswith("host mismatch")
+        ]
+        if downgraded:
+            reasons = sorted({getattr(v, "note", "") for v in downgraded})
+            notes.append(
+                f"{len(downgraded)} metric(s) auto-downgraded to advisory — "
+                + "; ".join(reasons)
+            )
         sections.append(
             _Section(
                 "Regression gate",
                 ["status", "area", "metric", "baseline", "current", "better", "note"],
                 rows,
-                [f"gate verdict: {verdict}"],
+                notes,
             )
         )
     if counters is not None:
@@ -425,10 +519,13 @@ def write_dashboard(
     numerics: Optional[Mapping] = None,
     attribution: Optional[Mapping] = None,
     run_diff=None,
+    telemetry: Optional[Sequence] = None,
+    alerts: Optional[Sequence] = None,
 ) -> str:
     """Write the dashboard to ``path`` (HTML iff the extension says so)."""
     sections = build_dashboard(
-        registry, current, counters, gate_report, numerics, attribution, run_diff
+        registry, current, counters, gate_report, numerics, attribution, run_diff,
+        telemetry, alerts,
     )
     text = (
         render_html(sections)

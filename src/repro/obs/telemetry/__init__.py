@@ -1,0 +1,40 @@
+"""Live telemetry runtime for long-running processes.
+
+See :mod:`repro.obs.telemetry.registry` (labeled metrics + scraper),
+:mod:`repro.obs.telemetry.profiler` (sampling profiler), and
+:mod:`repro.obs.telemetry.rules` (SLO alert engine).
+"""
+
+from repro.obs.telemetry.registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    TelemetryExporter,
+    TelemetryRegistry,
+    TelemetrySnapshot,
+    exponential_buckets,
+    get_telemetry,
+    parse_prometheus,
+    read_telemetry_jsonl,
+)
+from repro.obs.telemetry.profiler import SamplingProfiler
+from repro.obs.telemetry.rules import Alert, AlertEngine, SloRule
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TelemetryExporter",
+    "TelemetryRegistry",
+    "TelemetrySnapshot",
+    "exponential_buckets",
+    "get_telemetry",
+    "parse_prometheus",
+    "read_telemetry_jsonl",
+    "SamplingProfiler",
+    "Alert",
+    "AlertEngine",
+    "SloRule",
+]

@@ -1,0 +1,236 @@
+"""SLO rule engine: threshold + hysteresis + for-duration alerts.
+
+A rule watches one metric family (optionally one quantile of a
+histogram) and walks a per-series state machine:
+
+    ok --breach--> pending --sustained for_seconds--> firing --clear--> ok
+
+* **pending** debounces blips: the breach must hold for ``for_seconds``
+  before the alert fires, so one slow batch does not page anyone.
+* **firing** emits exactly one :class:`Alert` per episode — evaluation
+  while already firing does not re-emit.
+* **hysteresis**: the alert resolves only when the value crosses the
+  ``clear`` threshold (defaults to the fire threshold), so a series
+  oscillating around the threshold cannot flap.
+
+Evaluation is pull-based — :meth:`AlertEngine.evaluate` reads current
+instrument state, typically driven by the
+:class:`~repro.obs.telemetry.registry.TelemetryExporter` scrape loop —
+and takes an injectable ``now`` so tests advance time deterministically.
+Alert messages name the offending metric, its labels, the observed
+value, and the threshold: the on-call line of first contact.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    TelemetryRegistry,
+    get_telemetry,
+)
+
+__all__ = ["SloRule", "Alert", "AlertEngine"]
+
+#: series state-machine states
+_OK, _PENDING, _FIRING = "ok", "pending", "firing"
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One service-level objective.
+
+    ``metric`` names a registry family; for histograms set ``quantile``
+    (e.g. ``0.99``) to watch a percentile.  ``direction`` is ``"above"``
+    (alert when value > threshold — latency, queue depth) or ``"below"``
+    (throughput floor).  ``labels`` restricts the rule to series whose
+    labels are a superset of it; None watches every series of the
+    family.  ``clear`` is the hysteresis threshold the value must cross
+    back over to resolve (defaults to ``threshold``).
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    direction: str = "above"
+    for_seconds: float = 0.0
+    clear: Optional[float] = None
+    severity: str = "warn"
+    labels: Optional[Mapping[str, str]] = None
+    quantile: Optional[float] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("above", "below"):
+            raise ValueError(f"direction must be 'above' or 'below', got {self.direction!r}")
+        if self.severity not in ("warn", "page"):
+            raise ValueError(f"severity must be 'warn' or 'page', got {self.severity!r}")
+        if self.quantile is not None and not 0.0 <= self.quantile <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {self.quantile}")
+        if self.clear is not None:
+            if self.direction == "above" and self.clear > self.threshold:
+                raise ValueError("clear must be <= threshold for direction='above'")
+            if self.direction == "below" and self.clear < self.threshold:
+                raise ValueError("clear must be >= threshold for direction='below'")
+
+    def breached(self, value: float) -> bool:
+        if math.isnan(value):
+            return False
+        return value > self.threshold if self.direction == "above" else value < self.threshold
+
+    def cleared(self, value: float) -> bool:
+        if math.isnan(value):
+            return False
+        limit = self.threshold if self.clear is None else self.clear
+        return value <= limit if self.direction == "above" else value >= limit
+
+
+@dataclass
+class Alert:
+    """One fired SLO episode."""
+
+    rule: str
+    severity: str
+    metric: str
+    labels: Dict[str, str]
+    value: float
+    threshold: float
+    fired_at: float
+    resolved_at: Optional[float] = None
+    message: str = ""
+
+    @property
+    def active(self) -> bool:
+        return self.resolved_at is None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "metric": self.metric,
+            "labels": dict(self.labels),
+            "value": self.value,
+            "threshold": self.threshold,
+            "fired_at": self.fired_at,
+            "resolved_at": self.resolved_at,
+            "message": self.message,
+        }
+
+
+@dataclass
+class _SeriesState:
+    state: str = _OK
+    pending_since: float = 0.0
+    alert: Optional[Alert] = None
+
+
+class AlertEngine:
+    """Evaluates :class:`SloRule` sets against a registry.
+
+    ``evaluate(now=...)`` returns the alerts that fired *on this call*
+    (the debounce contract: a sustained breach yields exactly one);
+    ``active()`` lists currently-firing alerts and ``history`` keeps
+    every episode, resolved ones included.
+    """
+
+    def __init__(
+        self,
+        rules: List[SloRule],
+        registry: Optional[TelemetryRegistry] = None,
+    ) -> None:
+        self.rules = list(rules)
+        self.registry = registry if registry is not None else get_telemetry()
+        self.history: List[Alert] = []
+        self._states: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], _SeriesState] = {}
+
+    # -- reading metric series -----------------------------------------------
+    def _series_values(self, rule: SloRule) -> List[Tuple[Dict[str, str], float]]:
+        fam = self.registry.get(rule.metric)
+        if fam is None:
+            return []
+        want = dict(rule.labels) if rule.labels else None
+        out: List[Tuple[Dict[str, str], float]] = []
+        for key, child in fam.series():
+            labels = dict(key)
+            if want is not None and any(labels.get(k) != v for k, v in want.items()):
+                continue
+            if isinstance(fam, Histogram):
+                q = 0.99 if rule.quantile is None else rule.quantile
+                if child.count == 0:
+                    continue
+                value = child.quantile(q)
+            elif isinstance(fam, (Gauge, Counter)):
+                value = child.value
+            else:  # pragma: no cover - no other instrument kinds exist
+                continue
+            out.append((labels, value))
+        return out
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate(self, now: Optional[float] = None) -> List[Alert]:
+        """Advance every rule's state machines; return newly fired alerts."""
+        now = time.time() if now is None else float(now)
+        fired: List[Alert] = []
+        for rule in self.rules:
+            for labels, value in self._series_values(rule):
+                key = (rule.name, tuple(sorted(labels.items())))
+                st = self._states.setdefault(key, _SeriesState())
+                if st.state == _OK:
+                    if rule.breached(value):
+                        if rule.for_seconds > 0:
+                            st.state = _PENDING
+                            st.pending_since = now
+                        else:
+                            fired.append(self._fire(rule, labels, value, now, st))
+                elif st.state == _PENDING:
+                    if not rule.breached(value):
+                        st.state = _OK
+                    elif now - st.pending_since >= rule.for_seconds:
+                        fired.append(self._fire(rule, labels, value, now, st))
+                elif st.state == _FIRING:
+                    if rule.cleared(value):
+                        assert st.alert is not None
+                        st.alert.resolved_at = now
+                        st.alert = None
+                        st.state = _OK
+        return fired
+
+    def _fire(
+        self,
+        rule: SloRule,
+        labels: Dict[str, str],
+        value: float,
+        now: float,
+        st: _SeriesState,
+    ) -> Alert:
+        tag = "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}" if labels else ""
+        what = rule.metric + (f" p{rule.quantile * 100:g}" if rule.quantile is not None else "")
+        cmp = ">" if rule.direction == "above" else "<"
+        held = f" for {rule.for_seconds:g}s" if rule.for_seconds > 0 else ""
+        alert = Alert(
+            rule=rule.name,
+            severity=rule.severity,
+            metric=rule.metric,
+            labels=dict(labels),
+            value=value,
+            threshold=rule.threshold,
+            fired_at=now,
+            message=(
+                f"[{rule.severity}] {rule.name}: {what}{tag} = {value:.3f} "
+                f"{cmp} {rule.threshold:g}{held}"
+                + (f" — {rule.description}" if rule.description else "")
+            ),
+        )
+        st.state = _FIRING
+        st.alert = alert
+        self.history.append(alert)
+        return alert
+
+    def active(self) -> List[Alert]:
+        return [a for a in self.history if a.active]

@@ -20,6 +20,7 @@ from repro.nn.layers import Module
 from repro.nn.optim import Adam, LRSchedule, Optimizer, SGD
 from repro.nn.tensor import Tensor, no_grad
 from repro.obs.numerics import NumericsCollector
+from repro.obs.telemetry.registry import get_telemetry
 from repro.obs.tracer import get_tracer
 
 logger = logging.getLogger("repro.train")
@@ -170,6 +171,26 @@ class Trainer:
         cfg = self.config
         watch = self.numerics
         tracer = get_tracer()
+        # Live telemetry: instruments exist only while the process-wide
+        # registry is enabled, so the batch loop pays one None check
+        # (plus one registry-enabled check per fit) when telemetry is off.
+        telemetry = get_telemetry()
+        batch_hist = epoch_gauge = None
+        if telemetry.enabled:
+            # latency includes the data-loader wait (batch-to-batch wall
+            # time): a stalled input pipeline is precisely the kind of
+            # incident the p99 SLO exists to catch
+            batch_hist = telemetry.histogram(
+                "train.batch_latency_ms",
+                "wall time of one training batch, data loading included",
+            )
+            thr_gauge = telemetry.gauge(
+                "train.samples_per_sec", "training throughput (last epoch)"
+            )
+            loss_gauge = telemetry.gauge("train.loss", "training loss (last epoch)")
+            epoch_gauge = telemetry.gauge("train.epoch", "current epoch index")
+            batches_ctr = telemetry.counter("train.batches_total", "batches completed")
+            samples_ctr = telemetry.counter("train.samples_total", "samples trained on")
         loader = DataLoader(
             self.train_set,
             batch_size=cfg.batch_size,
@@ -185,6 +206,9 @@ class Trainer:
                     self.model.train()
                     total_loss = 0.0
                     total_n = 0
+                    if epoch_gauge is not None:
+                        epoch_gauge.set(epoch)
+                        batch_start = time.perf_counter()
                     for batch_idx, (images, labels) in enumerate(loader):
                         if watch is not None:
                             watch.set_context(epoch=epoch, batch=batch_idx)
@@ -196,6 +220,12 @@ class Trainer:
                             self.optimizer.zero_grad()
                             loss.backward()
                             self.optimizer.step()
+                        if batch_hist is not None:
+                            now = time.perf_counter()
+                            batch_hist.observe((now - batch_start) * 1e3)
+                            batch_start = now
+                            batches_ctr.inc()
+                            samples_ctr.inc(len(labels))
                         batch_loss = loss.item()
                         if watch is not None:
                             watch.check_value("train", "loss", batch_loss)
@@ -228,6 +258,9 @@ class Trainer:
                     tracer.observe("train.loss", stats.train_loss)
                     tracer.observe("train.val_top1", top1)
                     tracer.observe("train.samples_per_sec", stats.samples_per_sec)
+                    if batch_hist is not None:
+                        thr_gauge.set(stats.samples_per_sec)
+                        loss_gauge.set(stats.train_loss)
                 if cfg.verbose:
                     logger.info(
                         "epoch %3d  train_loss %.4f  val_loss %.4f  top1 %.3f  "

@@ -74,3 +74,104 @@ class TestRendering:
         assert "# Benchmark dashboard" in open(md).read()
         html_path = write_dashboard(str(tmp_path / "d.html"), registry)
         assert open(html_path).read().startswith("<!doctype html>")
+
+
+def _telemetry_snapshots(n=3):
+    from repro.obs.telemetry.registry import TelemetryRegistry
+
+    reg = TelemetryRegistry(enabled=True)
+    h = reg.histogram("train.batch_latency_ms", buckets=(1.0, 10.0, 100.0))
+    g = reg.gauge("parallel.queue_depth")
+    snaps = []
+    for i in range(n):
+        h.observe(5.0 * (i + 1))
+        g.set(i, pool="plan")
+        snaps.append(reg.snapshot(ts=float(i)))
+    return snaps
+
+
+class TestTelemetrySection:
+    def test_renders_series_alerts_and_trend(self, registry):
+        from repro.obs.telemetry.registry import TelemetryRegistry
+        from repro.obs.telemetry.rules import AlertEngine, SloRule
+
+        reg = TelemetryRegistry(enabled=True)
+        reg.gauge("parallel.queue_depth").set(99, pool="plan")
+        engine = AlertEngine(
+            [SloRule("deep", "parallel.queue_depth", threshold=10.0)], reg
+        )
+        engine.evaluate(now=0.0)
+        text = render_markdown(
+            build_dashboard(
+                registry,
+                telemetry=_telemetry_snapshots(),
+                alerts=engine.history,
+            )
+        )
+        assert "## Live telemetry" in text
+        assert "train.batch_latency_ms" in text
+        assert "parallel.queue_depth[pool=plan]" in text
+        assert "p99" in text
+        assert "alerts: 1 active / 1 fired" in text
+        assert "ACTIVE: [warn] deep" in text
+        # time-evolution sparkline across the snapshots
+        assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+
+    def test_no_alerts_says_so(self, registry):
+        text = render_markdown(
+            build_dashboard(registry, telemetry=_telemetry_snapshots())
+        )
+        assert "alerts: none fired" in text
+
+    def test_accepts_raw_snapshot_dicts(self, registry, tmp_path):
+        docs = [s.as_dict() for s in _telemetry_snapshots()]
+        path = write_dashboard(
+            str(tmp_path / "d.html"), registry, telemetry=docs
+        )
+        assert "Live telemetry" in open(path).read()
+
+
+class TestGateAdvisoryVisibility:
+    """The host-mismatch downgrade must be visible in the dashboard,
+    not only in the CLI gate report."""
+
+    def _report_with_downgrade(self, tmp_path):
+        from repro.obs.regress import TolerancePolicy
+
+        reg = MetricRegistry(str(tmp_path))
+        reg.update(
+            "core",
+            {"telemetry.p99_batch_ms[model=lenet5]": 20.0},
+            stamp={"git_sha": "r1", "cpu_count": "64"},
+        )
+        current = {"core": {"telemetry.p99_batch_ms[model=lenet5]": 21.0}}
+        # force the metric required so the cpu_count mismatch (64 in the
+        # baseline vs this host) exercises the auto-downgrade path
+        report = gate_metrics(
+            current,
+            reg,
+            overrides={
+                "telemetry.p99_batch_ms": TolerancePolicy(
+                    direction="lower", rel_tol=0.9, abs_tol=5.0, required=True
+                )
+            },
+        )
+        return reg, current, report
+
+    def test_advisory_status_suffix_and_downgrade_note(self, tmp_path):
+        reg, current, report = self._report_with_downgrade(tmp_path)
+        (verdict,) = [
+            v for v in report.verdicts if v.metric.startswith("telemetry.")
+        ]
+        assert not verdict.policy.required
+        assert (getattr(verdict, "note", "") or "").startswith("host mismatch")
+        text = render_markdown(build_dashboard(reg, current, gate_report=report))
+        assert "(advisory)" in text
+        assert "auto-downgraded to advisory" in text
+        assert "host mismatch" in text
+
+    def test_no_downgrade_no_note(self, registry):
+        current = {"core": {"table2.rate[k=3]": 0.42}}
+        report = gate_metrics(current, registry)
+        text = render_markdown(build_dashboard(registry, current, gate_report=report))
+        assert "auto-downgraded" not in text

@@ -1,0 +1,182 @@
+"""SLO rule engine: debounce, hysteresis, severities, label scoping."""
+
+import pytest
+
+from repro.obs.telemetry.registry import TelemetryRegistry
+from repro.obs.telemetry.rules import Alert, AlertEngine, SloRule
+
+
+@pytest.fixture
+def reg():
+    return TelemetryRegistry(enabled=True)
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        SloRule("r", "m", 1.0, direction="sideways")
+    with pytest.raises(ValueError):
+        SloRule("r", "m", 1.0, severity="meh")
+    with pytest.raises(ValueError):
+        SloRule("r", "m", 1.0, quantile=1.5)
+    with pytest.raises(ValueError):
+        SloRule("r", "m", 1.0, clear=2.0)  # above: clear must be <= threshold
+    with pytest.raises(ValueError):
+        SloRule("r", "m", 1.0, direction="below", clear=0.5)
+
+
+def test_immediate_fire_without_for_duration(reg):
+    g = reg.gauge("q")
+    engine = AlertEngine([SloRule("deep", "q", threshold=10.0)], reg)
+    g.set(5)
+    assert engine.evaluate(now=0.0) == []
+    g.set(11)
+    fired = engine.evaluate(now=1.0)
+    assert len(fired) == 1
+    assert fired[0].rule == "deep" and fired[0].value == 11
+
+
+def test_for_duration_debounce_fires_exactly_once(reg):
+    """The acceptance contract: a sustained breach -> exactly one alert."""
+    g = reg.gauge("q")
+    engine = AlertEngine([SloRule("deep", "q", threshold=10.0, for_seconds=2.0)], reg)
+    g.set(20)
+    all_fired = []
+    for t in (0.0, 0.5, 1.0, 1.5, 2.5, 3.0, 10.0, 60.0):
+        all_fired += engine.evaluate(now=t)
+    assert len(all_fired) == 1
+    assert all_fired[0].fired_at == 2.5  # first evaluation past for_seconds
+    assert len(engine.active()) == 1
+
+
+def test_blip_shorter_than_for_duration_never_fires(reg):
+    g = reg.gauge("q")
+    engine = AlertEngine([SloRule("deep", "q", threshold=10.0, for_seconds=5.0)], reg)
+    g.set(20)
+    assert engine.evaluate(now=0.0) == []
+    g.set(1)
+    assert engine.evaluate(now=1.0) == []  # recovered: pending resets
+    g.set(20)
+    assert engine.evaluate(now=2.0) == []
+    assert engine.evaluate(now=6.9) == []  # only 4.9 s since t=2
+    assert len(engine.evaluate(now=7.1)) == 1
+
+
+def test_hysteresis_blocks_flapping(reg):
+    g = reg.gauge("q")
+    engine = AlertEngine(
+        [SloRule("deep", "q", threshold=10.0, clear=4.0)], reg
+    )
+    g.set(12)
+    assert len(engine.evaluate(now=0.0)) == 1
+    # oscillating between clear and fire thresholds: still one episode
+    for t, v in [(1.0, 8.0), (2.0, 11.0), (3.0, 5.0), (4.0, 12.0)]:
+        g.set(v)
+        assert engine.evaluate(now=t) == []
+    assert len(engine.active()) == 1
+    g.set(3.0)  # crosses the clear threshold: resolves
+    assert engine.evaluate(now=5.0) == []
+    assert engine.active() == []
+    assert engine.history[0].resolved_at == 5.0
+    # a fresh breach is a new episode
+    g.set(12)
+    assert len(engine.evaluate(now=6.0)) == 1
+    assert len(engine.history) == 2
+
+
+def test_direction_below_throughput_floor(reg):
+    g = reg.gauge("qps")
+    engine = AlertEngine(
+        [SloRule("slow", "qps", threshold=100.0, direction="below", clear=150.0)], reg
+    )
+    g.set(500)
+    assert engine.evaluate(now=0.0) == []
+    g.set(50)
+    assert len(engine.evaluate(now=1.0)) == 1
+    g.set(120)  # above threshold but below clear: still firing
+    assert engine.evaluate(now=2.0) == []
+    assert len(engine.active()) == 1
+    g.set(200)
+    engine.evaluate(now=3.0)
+    assert engine.active() == []
+
+
+def test_histogram_rule_watches_quantile(reg):
+    h = reg.histogram("lat", buckets=(1.0, 10.0, 100.0, 1000.0))
+    engine = AlertEngine(
+        [SloRule("p99", "lat", threshold=100.0, quantile=0.99, severity="page")], reg
+    )
+    assert engine.evaluate(now=0.0) == []  # empty histogram: no series value
+    for _ in range(100):
+        h.observe(5.0)
+    assert engine.evaluate(now=1.0) == []
+    for _ in range(100):
+        h.observe(900.0)  # half the mass is now slow; p99 >> 100
+    fired = engine.evaluate(now=2.0)
+    assert len(fired) == 1
+    assert fired[0].severity == "page"
+    assert "p99" in fired[0].message
+
+
+def test_label_scoped_rule_only_watches_matching_series(reg):
+    g = reg.gauge("depth")
+    g.set(99, pool="kernel")
+    g.set(1, pool="plan")
+    engine = AlertEngine(
+        [SloRule("deep-plan", "depth", threshold=10.0, labels={"pool": "plan"})], reg
+    )
+    assert engine.evaluate(now=0.0) == []  # kernel series breaches, but scoped out
+    g.set(20, pool="plan")
+    fired = engine.evaluate(now=1.0)
+    assert len(fired) == 1
+    assert fired[0].labels == {"pool": "plan"}
+    assert "pool=plan" in fired[0].message
+
+
+def test_unscoped_rule_tracks_each_series_independently(reg):
+    g = reg.gauge("depth")
+    g.set(20, pool="kernel")
+    g.set(20, pool="plan")
+    engine = AlertEngine([SloRule("deep", "depth", threshold=10.0)], reg)
+    fired = engine.evaluate(now=0.0)
+    assert len(fired) == 2
+    assert {tuple(a.labels.items()) for a in fired} == {
+        (("pool", "kernel"),), (("pool", "plan"),)
+    }
+
+
+def test_alert_message_names_metric_value_threshold(reg):
+    g = reg.gauge("train.samples_per_sec")
+    g.set(3.0)
+    engine = AlertEngine(
+        [
+            SloRule(
+                "slow-training",
+                "train.samples_per_sec",
+                threshold=10.0,
+                direction="below",
+                severity="warn",
+                description="throughput collapsed",
+            )
+        ],
+        reg,
+    )
+    (alert,) = engine.evaluate(now=0.0)
+    msg = alert.message
+    assert "train.samples_per_sec" in msg
+    assert "3.000" in msg and "10" in msg
+    assert "[warn]" in msg and "throughput collapsed" in msg
+
+
+def test_missing_metric_is_not_an_error(reg):
+    engine = AlertEngine([SloRule("r", "does.not.exist", threshold=1.0)], reg)
+    assert engine.evaluate(now=0.0) == []
+
+
+def test_alert_as_dict_round_trip(reg):
+    g = reg.gauge("q")
+    g.set(99)
+    engine = AlertEngine([SloRule("deep", "q", threshold=10.0)], reg)
+    (alert,) = engine.evaluate(now=7.0)
+    doc = alert.as_dict()
+    assert doc["rule"] == "deep" and doc["fired_at"] == 7.0
+    assert doc["resolved_at"] is None and alert.active
